@@ -1,0 +1,46 @@
+"""Benchmark fixtures: pre-built paper-scale datasets + result capture.
+
+Each benchmark regenerates one table/figure of the paper at the
+``paper`` scale (30 simulated days). The expensive dataset builds are
+memoized, so pytest-benchmark's repeated rounds time the analysis
+pipeline itself; every bench also writes its rendered result to
+``benchmarks/results/<experiment>.txt`` so the reproduction artifacts
+survive the run.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.datasets import simulation_dataset, workload_dataset
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+SCALE = "paper"
+SEED = 0
+
+
+@pytest.fixture(scope="session")
+def paper_workload():
+    """Pre-warmed workload dataset shared by the workload benches."""
+    return workload_dataset(SCALE, SEED)
+
+
+@pytest.fixture(scope="session")
+def paper_simulation():
+    """Pre-warmed simulated month shared by the host-load benches."""
+    return simulation_dataset(SCALE, SEED)
+
+
+@pytest.fixture(scope="session")
+def save_result():
+    """Persist a rendered ExperimentResult under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _save(result) -> None:
+        path = RESULTS_DIR / f"{result.experiment_id}.txt"
+        path.write_text(result.render() + "\n")
+
+    return _save

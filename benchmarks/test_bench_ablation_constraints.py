@@ -1,0 +1,52 @@
+"""Ablation: placement constraints vs scheduling quality.
+
+Sec. IV.B cites task placement constraints as a Cloud-specific factor
+that "may further impact the resource utilization significantly". This
+ablation sweeps the fraction of constrained tasks and measures the
+queueing it induces: constraints shrink each task's candidate machine
+set, so pending time must grow monotonically-ish with constraint load.
+"""
+
+import numpy as np
+import pytest
+
+from repro.sim import ClusterSimulator, ConstraintModel, SimConfig
+from repro.sim.constraints import generate_attribute_matrix
+from repro.synth import GoogleConfig, generate_machines, generate_task_requests
+
+HORIZON = 1 * 86400.0
+PROBS = (0.0, 0.5, 0.95)
+
+
+def _pending_load(constraint_prob: float) -> int:
+    rng = np.random.default_rng(500)
+    machines = generate_machines(8, rng)
+    model = ConstraintModel(
+        generate_attribute_matrix(8, rng, num_attributes=3),
+        constraint_prob=constraint_prob,
+    )
+    requests = generate_task_requests(
+        HORIZON,
+        seed=501,
+        config=GoogleConfig(busy_window=None),
+        tasks_per_hour=18.0 * 8,
+    )
+    sim = ClusterSimulator(
+        machines, SimConfig(constraints=model), seed=502
+    )
+    result = sim.run(requests, HORIZON)
+    return int(np.asarray(result.cluster_series["n_pending"]).sum())
+
+
+@pytest.fixture(scope="module")
+def pending_by_prob():
+    return {p: _pending_load(p) for p in PROBS}
+
+
+def test_bench_ablation_constraints(benchmark, pending_by_prob):
+    benchmark(_pending_load, 0.5)
+    print("cumulative pending-queue samples by constrained-task fraction:")
+    for prob, pending in pending_by_prob.items():
+        print(f"  constraint_prob={prob:4.2f}  pending-sum={pending}")
+    # Heavier constraints must hurt schedulability.
+    assert pending_by_prob[0.95] > pending_by_prob[0.0]

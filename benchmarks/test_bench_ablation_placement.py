@@ -1,0 +1,50 @@
+"""Ablation: placement policy vs load balance.
+
+The paper describes Google's scheduler as using the "best" resources
+first to balance demand across machines. This ablation compares the
+``balance`` policy against bin-packing (``best_fit``), ``first_fit``
+and ``random``: balance should spread load most evenly (lowest
+across-machine dispersion of mean relative CPU load).
+"""
+
+import numpy as np
+import pytest
+
+from repro.hostload import all_machine_series
+from repro.sim import ClusterSimulator, SimConfig
+from repro.synth import GoogleConfig, generate_machines, generate_task_requests
+
+HORIZON = 2 * 86400.0
+POLICIES = ("balance", "best_fit", "first_fit", "random")
+
+
+def _imbalance(policy: str) -> float:
+    """Std-dev across machines of the mean relative CPU load."""
+    rng = np.random.default_rng(100)
+    machines = generate_machines(16, rng)
+    requests = generate_task_requests(
+        HORIZON,
+        seed=101,
+        config=GoogleConfig(busy_window=None, cpu_utilization_range=(0.25, 0.7)),
+        tasks_per_hour=14.0 * 16,
+    )
+    sim = ClusterSimulator(machines, SimConfig(placement=policy), seed=102)
+    result = sim.run(requests, HORIZON)
+    series = all_machine_series(result.machine_usage, result.machines)
+    means = np.array([s.relative("cpu").mean() for s in series.values()])
+    return float(means.std())
+
+
+@pytest.fixture(scope="module")
+def imbalances():
+    return {policy: _imbalance(policy) for policy in POLICIES}
+
+
+def test_bench_ablation_placement(benchmark, imbalances):
+    benchmark(_imbalance, "balance")
+    print("across-machine load imbalance (std of mean relative CPU):")
+    for policy, value in sorted(imbalances.items(), key=lambda kv: kv[1]):
+        print(f"  {policy:10s} {value:.4f}")
+    # Balance must beat bin-packing and first-fit, which concentrate load.
+    assert imbalances["balance"] < imbalances["best_fit"]
+    assert imbalances["balance"] < imbalances["first_fit"]

@@ -1,0 +1,69 @@
+"""Ablation: preemption on/off.
+
+With preemption, arriving high-priority tasks displace low-priority
+work instead of queueing — the paper's Fig. 8(b) shows an empty pending
+queue. Disabling preemption must increase the scheduling delay of
+high-priority tasks on a saturated cluster.
+"""
+
+import numpy as np
+import pytest
+
+from repro.sim import ClusterSimulator, SimConfig
+from repro.synth import GoogleConfig, generate_machines, generate_task_requests
+from repro.traces.schema import TaskEvent, priority_band_array
+
+HORIZON = 2 * 86400.0
+
+
+def _high_priority_wait(preemption: bool) -> tuple[float, int]:
+    """(mean wait of high-priority tasks, evict count) on a hot cluster."""
+    rng = np.random.default_rng(200)
+    machines = generate_machines(8, rng)
+    requests = generate_task_requests(
+        HORIZON,
+        seed=201,
+        config=GoogleConfig(busy_window=None),
+        tasks_per_hour=22.0 * 8,  # deliberately oversubscribed
+    )
+    sim = ClusterSimulator(
+        machines, SimConfig(preemption=preemption), seed=202
+    )
+    result = sim.run(requests, HORIZON)
+    ev = result.task_events.sort_by("time")
+    etype = np.asarray(ev["event_type"])
+    times = np.asarray(ev["time"])
+    prio = np.asarray(ev["priority"])
+    width = int(ev["task_index"].max()) + 1
+    key = np.asarray(ev["job_id"]) * width + np.asarray(ev["task_index"])
+
+    waits = []
+    pending_since: dict[int, float] = {}
+    high = priority_band_array(np.maximum(prio, 1)) == 2
+    for t, e, k, is_high in zip(times, etype, key, high):
+        if not is_high:
+            continue
+        if e == int(TaskEvent.SUBMIT):
+            pending_since[int(k)] = float(t)
+        elif e == int(TaskEvent.SCHEDULE) and int(k) in pending_since:
+            waits.append(float(t) - pending_since.pop(int(k)))
+    mean_wait = float(np.mean(waits)) if waits else 0.0
+    return mean_wait, result.counts["evict"]
+
+
+@pytest.fixture(scope="module")
+def waits():
+    return {flag: _high_priority_wait(flag) for flag in (True, False)}
+
+
+def test_bench_ablation_preemption(benchmark, waits):
+    benchmark(_high_priority_wait, True)
+    for flag, (wait, evicts) in waits.items():
+        print(
+            f"preemption={flag}: high-priority mean wait {wait:.1f}s, "
+            f"{evicts} evictions"
+        )
+    wait_on, _ = waits[True]
+    wait_off, _ = waits[False]
+    # Preemption must cut high-priority waiting on a saturated cluster.
+    assert wait_on < wait_off

@@ -1,0 +1,62 @@
+"""Benches: the five extension experiments at paper scale.
+
+These cover the paper's motivating applications (scheduling modes,
+consolidation) and announced future work (prediction, best-fit
+modeling), plus the diurnal contrast behind Table I.
+"""
+
+from repro.experiments import (
+    ext1_diurnal,
+    ext2_prediction,
+    ext3_consolidation,
+    ext4_fitting,
+    ext5_modes,
+)
+
+from .conftest import SCALE, SEED
+
+
+def test_bench_ext1_diurnal(benchmark, paper_workload, save_result):
+    result = benchmark(ext1_diurnal.run, scale=SCALE, seed=SEED)
+    save_result(result)
+    print(result.render())
+    m = result.metrics
+    assert m["grids_all_more_diurnal"]
+    assert m["min_grid_amplitude"] > 2 * m["google_amplitude"]
+
+
+def test_bench_ext2_prediction(benchmark, paper_simulation, save_result):
+    result = benchmark(ext2_prediction.run, scale=SCALE, seed=SEED)
+    save_result(result)
+    print(result.render())
+    m = result.metrics
+    assert m["cloud_harder_to_predict"]
+    assert m["cloud_over_grid_error_ratio"] > 2
+
+
+def test_bench_ext3_consolidation(benchmark, paper_simulation, save_result):
+    result = benchmark(ext3_consolidation.run, scale=SCALE, seed=SEED)
+    save_result(result)
+    print(result.render())
+    m = result.metrics
+    assert m["consolidation_worthwhile"]
+    assert m["mean_shutoff_fraction"] > 0.05
+
+
+def test_bench_ext4_fitting(benchmark, paper_workload, save_result):
+    result = benchmark(ext4_fitting.run, scale=SCALE, seed=SEED)
+    save_result(result)
+    print(result.render())
+    m = result.metrics
+    assert m["auvergrid_single_family_adequate"]
+    assert m["google_needs_mixture"]
+    assert m["auvergrid_best_family"] == "lognormal"
+
+
+def test_bench_ext5_modes(benchmark, paper_simulation, save_result):
+    result = benchmark(ext5_modes.run, scale=SCALE, seed=SEED)
+    save_result(result)
+    print(result.render())
+    m = result.metrics
+    assert m["distinct_modes_found"]
+    assert m["largest_mode_share"] < 0.95

@@ -1,0 +1,19 @@
+"""Bench: regenerate Fig. 10 (usage-level snapshot, 50 machines)."""
+
+from repro.experiments import fig10_usage_snapshot
+
+from .conftest import SCALE, SEED
+
+
+def test_bench_fig10(benchmark, paper_simulation, save_result):
+    result = benchmark(fig10_usage_snapshot.run, scale=SCALE, seed=SEED)
+    save_result(result)
+    print(result.render())
+
+    m = result.metrics
+    # Paper: CPUs mostly idle relative to capacity; memory runs high;
+    # high-priority-only load looks light; busy window days 21-25.
+    assert m["high_priority_cpu_mostly_idle"]
+    assert m["mem_high_levels_frac"] > 0.3
+    assert m["cpu_share_low_band"] > 0.4
+    assert m["busy_window_cpu_uplift"] > 1.1

@@ -1,0 +1,21 @@
+"""Bench: regenerate Fig. 11 (mass-count of CPU usage)."""
+
+import pytest
+
+from repro.experiments import fig11_cpu_usage_mc
+
+from .conftest import SCALE, SEED
+
+
+def test_bench_fig11(benchmark, paper_simulation, save_result):
+    result = benchmark(fig11_cpu_usage_mc.run, scale=SCALE, seed=SEED)
+    save_result(result)
+    print(result.render())
+
+    m = result.metrics
+    # Paper: CPU usage ~35% overall, ~20% for high-priority tasks;
+    # near-uniform distribution (joint ratio ~40/60).
+    assert m["mean_cpu_usage_pct"] == pytest.approx(35, abs=12)
+    assert m["high_band_uses_less"]
+    assert m["near_uniform"]
+    assert m["all_joint_small_side"] == pytest.approx(40, abs=10)

@@ -1,0 +1,20 @@
+"""Bench: regenerate Fig. 12 (mass-count of memory usage)."""
+
+import pytest
+
+from repro.experiments import fig12_mem_usage_mc
+
+from .conftest import SCALE, SEED
+
+
+def test_bench_fig12(benchmark, paper_simulation, save_result):
+    result = benchmark(fig12_mem_usage_mc.run, scale=SCALE, seed=SEED)
+    save_result(result)
+    print(result.render())
+
+    m = result.metrics
+    # Paper: memory usage ~60% overall, above CPU usage; joint ratio
+    # ~43/57 (close to uniform).
+    assert m["mean_mem_usage_pct"] == pytest.approx(60, abs=15)
+    assert m["mem_above_cpu"]
+    assert m["all_joint_small_side"] == pytest.approx(43, abs=10)

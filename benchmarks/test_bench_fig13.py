@@ -1,0 +1,19 @@
+"""Bench: regenerate Fig. 13 (host-load dynamics, Cloud vs Grid)."""
+
+from repro.experiments import fig13_hostload_compare
+
+from .conftest import SCALE, SEED
+
+
+def test_bench_fig13(benchmark, paper_simulation, save_result):
+    result = benchmark(fig13_hostload_compare.run, scale=SCALE, seed=SEED)
+    save_result(result)
+    print(result.render())
+
+    m = result.metrics
+    # Paper: Google memory > CPU, Grid CPU > memory, and Google's CPU
+    # noise ~20x AuverGrid's (we require the same decade).
+    assert m["google_mem_above_cpu"]
+    assert m["grid_cpu_above_mem"]
+    assert m["google_noisier"]
+    assert m["noise_ratio_google_over_auvergrid"] > 5

@@ -1,0 +1,19 @@
+"""Bench: regenerate Fig. 2 (jobs/tasks per priority) at paper scale."""
+
+from repro.experiments import fig2_priority
+
+from .conftest import SCALE, SEED
+
+
+def test_bench_fig2(benchmark, paper_workload, save_result):
+    result = benchmark(fig2_priority.run, scale=SCALE, seed=SEED)
+    save_result(result)
+    print(result.render())
+
+    m = result.metrics
+    # Paper: ~670k jobs over the month, low priorities dominate, and
+    # the task count is in the tens of millions (fan-out ~37x).
+    assert m["total_jobs"] > 300_000
+    assert m["job_frac_low(1-4)"] > 0.7
+    assert m["total_tasks"] > 10 * m["total_jobs"]
+    assert m["modal_priority"] <= 4

@@ -1,0 +1,17 @@
+"""Bench: regenerate Fig. 3 (job-length CDFs) at paper scale."""
+
+from repro.experiments import fig3_job_length
+
+from .conftest import SCALE, SEED
+
+
+def test_bench_fig3(benchmark, paper_workload, save_result):
+    result = benchmark(fig3_job_length.run, scale=SCALE, seed=SEED)
+    save_result(result)
+    print(result.render())
+
+    m = result.metrics
+    # Paper: >80% of Google jobs under 1000 s; most Grid jobs > 2000 s.
+    assert m["google_frac_under_1000s"] > 0.75
+    assert m["grids_mostly_over_2000s"]
+    assert m["min_grid_frac_over_2000s"] > 0.5

@@ -1,0 +1,19 @@
+"""Bench: regenerate Fig. 4 (task-length mass-count) at paper scale."""
+
+from repro.experiments import fig4_masscount_length
+
+from .conftest import SCALE, SEED
+
+
+def test_bench_fig4(benchmark, paper_workload, save_result):
+    result = benchmark(fig4_masscount_length.run, scale=SCALE, seed=SEED)
+    save_result(result)
+    print(result.render())
+
+    m = result.metrics
+    # Paper: Google joint ratio 6/94, AuverGrid 24/76; Google mm-distance
+    # (days) far larger than AuverGrid's ~0.82.
+    assert abs(m["google_joint_small_side"] - 6) <= 2.5
+    assert abs(m["auvergrid_joint_small_side"] - 24) <= 4
+    assert m["google_more_pareto"]
+    assert m["google_mmdist_days"] > 5 * m["auvergrid_mmdist_days"]

@@ -1,0 +1,17 @@
+"""Bench: regenerate Fig. 5 (submission-interval CDFs) at paper scale."""
+
+from repro.experiments import fig5_interarrival
+
+from .conftest import SCALE, SEED
+
+
+def test_bench_fig5(benchmark, paper_workload, save_result):
+    result = benchmark(fig5_interarrival.run, scale=SCALE, seed=SEED)
+    save_result(result)
+    print(result.render())
+
+    m = result.metrics
+    # Paper: Google submits far more frequently than any Grid system.
+    assert m["google_shortest_intervals"]
+    assert m["google_mean_interval_s"] < 10
+    assert m["min_grid_mean_interval_s"] > m["google_mean_interval_s"]

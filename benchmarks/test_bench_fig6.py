@@ -1,0 +1,18 @@
+"""Bench: regenerate Fig. 6 (per-job CPU/memory usage) at paper scale."""
+
+from repro.experiments import fig6_job_resources
+
+from .conftest import SCALE, SEED
+
+
+def test_bench_fig6(benchmark, paper_workload, save_result):
+    result = benchmark(fig6_job_resources.run, scale=SCALE, seed=SEED)
+    save_result(result)
+    print(result.render())
+
+    m = result.metrics
+    # Paper: the large majority of Google jobs need <= 1 processor and
+    # far less memory than Grid jobs.
+    assert m["google_frac_under_1_cpu"] > 0.85
+    assert m["google_lower_cpu"]
+    assert m["google_mem_median_mb_32gb"] < m["min_grid_mem_median_mb"]

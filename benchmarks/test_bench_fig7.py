@@ -1,0 +1,18 @@
+"""Bench: regenerate Fig. 7 (max host load per capacity group)."""
+
+from repro.experiments import fig7_max_load
+
+from .conftest import SCALE, SEED
+
+
+def test_bench_fig7(benchmark, paper_simulation, save_result):
+    result = benchmark(fig7_max_load.run, scale=SCALE, seed=SEED)
+    save_result(result)
+    print(result.render())
+
+    m = result.metrics
+    # Paper shape: CPU maxima press against capacity on the small
+    # machines, consumed memory maxima sit below assigned memory.
+    assert m["assigned_exceeds_consumed"]
+    assert m["mem_mean_relative_max"] > 0.5
+    assert m["mem_assigned_mean_relative_max"] > 0.6

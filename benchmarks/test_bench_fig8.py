@@ -1,0 +1,21 @@
+"""Bench: regenerate Fig. 8 (task events + queue state on one host)."""
+
+import pytest
+
+from repro.experiments import fig8_queue_state
+
+from .conftest import SCALE, SEED
+
+
+def test_bench_fig8(benchmark, paper_simulation, save_result):
+    result = benchmark(fig8_queue_state.run, scale=SCALE, seed=SEED)
+    save_result(result)
+    print(result.render())
+
+    m = result.metrics
+    # Paper: running queue plateaus (~40 on the sample machine),
+    # completions grow monotonically, and most completions are abnormal.
+    assert m["steady_running_mean"] > 10
+    assert m["finished_grows_linearly"]
+    assert m["final_abnormal_fraction"] == pytest.approx(0.59, abs=0.12)
+    assert m["num_task_executions"] > 1000

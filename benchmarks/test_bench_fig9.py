@@ -1,0 +1,18 @@
+"""Bench: regenerate Fig. 9 (mass-count of unchanged queue states)."""
+
+from repro.experiments import fig9_queue_durations
+
+from .conftest import SCALE, SEED
+
+
+def test_bench_fig9(benchmark, paper_simulation, save_result):
+    result = benchmark(fig9_queue_durations.run, scale=SCALE, seed=SEED)
+    save_result(result)
+    print(result.render())
+
+    m = result.metrics
+    # Paper: joint ratios 11/89 .. 16/84 — heavily skewed everywhere.
+    assert m["intervals_with_data"] >= 3
+    assert m["skewed_everywhere"]
+    lo, hi = m["joint_small_side_range"]
+    assert hi < 40

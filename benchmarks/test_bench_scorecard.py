@@ -1,0 +1,20 @@
+"""Bench: the full reproduction scorecard at paper scale.
+
+Re-derives every Section VI conclusion bullet from the paper-scale
+synthetic month and requires all of them to hold — the single
+end-to-end acceptance check of the reproduction.
+"""
+
+from repro.experiments import scorecard
+
+from .conftest import SCALE, SEED
+
+
+def test_bench_scorecard(benchmark, paper_workload, paper_simulation, save_result):
+    result = benchmark.pedantic(
+        scorecard.run, kwargs=dict(scale=SCALE, seed=SEED), rounds=1, iterations=1
+    )
+    save_result(result)
+    print(result.render())
+    failing = [row for row in result.tables[0].rows if row[3] == "FAIL"]
+    assert result.metrics["all_pass"], f"failing claims: {failing}"

@@ -1,0 +1,23 @@
+"""Bench: regenerate Table I (submission rates + fairness) at paper scale."""
+
+import pytest
+
+from repro.experiments import tab1_submission_rate
+
+from .conftest import SCALE, SEED
+
+
+def test_bench_tab1(benchmark, paper_workload, save_result):
+    result = benchmark(tab1_submission_rate.run, scale=SCALE, seed=SEED)
+    save_result(result)
+    print(result.render())
+
+    m = result.metrics
+    # Paper row: Google 552 avg/hour at fairness 0.94; Grid fairness
+    # 0.04-0.51 — Google leads on both axes.
+    assert m["google_avg_per_hour"] == pytest.approx(552, rel=0.05)
+    assert m["google_fairness"] == pytest.approx(0.94, abs=0.04)
+    assert m["google_rate_highest"]
+    assert m["google_fairness_highest"]
+    lo, hi = m["grid_fairness_range"]
+    assert hi < 0.75

@@ -1,0 +1,17 @@
+"""Bench: regenerate Table II (unchanged CPU usage-level durations)."""
+
+from repro.experiments import tab23_level_durations
+
+from .conftest import SCALE, SEED
+
+
+def test_bench_tab2(benchmark, paper_simulation, save_result):
+    result = benchmark(tab23_level_durations.run_cpu, scale=SCALE, seed=SEED)
+    save_result(result)
+    print(result.render())
+
+    m = result.metrics
+    # Paper: CPU levels flip within minutes (avg ~6 min); durations are
+    # right-skewed (joint ratios around 26/74-30/70).
+    assert m["cpu_weighted_avg_duration_min"] < 60
+    assert all(side < 50 for side in m["cpu_joint_small_sides"])

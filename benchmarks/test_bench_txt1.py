@@ -1,0 +1,20 @@
+"""Bench: regenerate Sec. IV.B.1's completion-event mix."""
+
+import pytest
+
+from repro.experiments import txt1_completion_mix
+
+from .conftest import SCALE, SEED
+
+
+def test_bench_txt1(benchmark, paper_simulation, save_result):
+    result = benchmark(txt1_completion_mix.run, scale=SCALE, seed=SEED)
+    save_result(result)
+    print(result.render())
+
+    m = result.metrics
+    # Paper: 59.2% abnormal; of the abnormal, 50% fail and 30.7% kill.
+    assert m["abnormal_fraction"] == pytest.approx(0.592, abs=0.08)
+    assert m["fail_share_of_abnormal"] == pytest.approx(0.50, abs=0.12)
+    assert m["kill_share_of_abnormal"] == pytest.approx(0.307, abs=0.1)
+    assert m["fail_dominates_abnormal"]

@@ -1,0 +1,25 @@
+"""Bench: regenerate Sec. VI's task-length statistics."""
+
+import pytest
+
+from repro.experiments import txt2_task_length_stats
+
+from .conftest import SCALE, SEED
+
+
+def test_bench_txt2(benchmark, paper_workload, save_result):
+    result = benchmark(txt2_task_length_stats.run, scale=SCALE, seed=SEED)
+    save_result(result)
+    print(result.render())
+
+    m = result.metrics
+    # Paper: 55% of tasks <10 min, 90% <1 h, ~94% <3 h; mean 5.6 h with
+    # a 29-day max; AuverGrid mean 7.2 h with an 18-day max.
+    assert m["google_frac_under_10min"] == pytest.approx(0.55, abs=0.05)
+    assert m["google_frac_under_1h"] == pytest.approx(0.90, abs=0.04)
+    assert m["google_frac_under_3h"] == pytest.approx(0.94, abs=0.04)
+    assert m["google_mean_hours"] == pytest.approx(5.6, abs=2.0)
+    assert m["google_max_days"] > 20
+    assert m["auvergrid_mean_hours"] == pytest.approx(7.2, abs=1.5)
+    assert m["cloud_tasks_mostly_shorter"]
+    assert m["cloud_max_longer"]

@@ -1,0 +1,90 @@
+"""Capacity planning: consolidation potential of a simulated cluster.
+
+The paper's introduction motivates load characterization with VM
+consolidation: "using fewer machines and shutting off unneeded hosts".
+This example simulates a 16-machine cluster for two days, bin-packs the
+measured demand at every half hour, and reports how much of the fleet a
+consolidating resource manager could power down — overall, during the
+quietest hour and at the demand peak — plus the per-user concentration
+of the workload driving it.
+
+Run:  python examples/capacity_planning.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps import consolidation_potential, user_summary
+from repro.core import render_kv
+from repro.hostload import all_machine_series
+from repro.sim import ClusterSimulator, SimConfig, jobs_from_events
+from repro.synth import GoogleConfig, generate_machines, generate_task_requests
+
+DAY = 86400.0
+
+
+def main() -> None:
+    rng = np.random.default_rng(31)
+    machines = generate_machines(16, rng)
+    horizon = 2 * DAY
+    requests = generate_task_requests(
+        horizon,
+        seed=32,
+        config=GoogleConfig(busy_window=None, cpu_utilization_range=(0.25, 0.7)),
+        tasks_per_hour=14.0 * 16,
+    )
+    print(f"simulating {len(requests)} task requests on 16 machines ...")
+    result = ClusterSimulator(machines, SimConfig(), seed=33).run(
+        requests, horizon
+    )
+    series = all_machine_series(result.machine_usage, result.machines)
+
+    for headroom in (0.05, 0.2):
+        report = consolidation_potential(series, headroom=headroom, stride=6)
+        print()
+        print(
+            render_kv(
+                {
+                    "headroom": headroom,
+                    "fleet size": report.fleet_size,
+                    "mean machines needed": round(report.mean_needed, 1),
+                    "peak machines needed": report.peak_needed,
+                    "mean shutoff fraction": round(
+                        report.mean_shutoff_fraction, 3
+                    ),
+                    "always-off fraction": round(
+                        report.always_shutoff_fraction, 3
+                    ),
+                },
+                title=f"consolidation potential (headroom={headroom:.0%}):",
+            )
+        )
+
+    jobs = jobs_from_events(result.task_events, horizon)
+    # The simulator's event log carries no user ids; attribute jobs to
+    # synthetic users with the Google model's user fan-out for the
+    # concentration analysis.
+    user_rng = np.random.default_rng(34)
+    jobs = jobs.with_columns(
+        user_id=user_rng.integers(0, 100, jobs.num_rows)
+    )
+    summary = user_summary(jobs)
+    print()
+    print(
+        render_kv(
+            {
+                "users": summary.num_users,
+                "jobs per user (mean)": round(summary.jobs_per_user_mean, 1),
+                "top-10 user share": round(summary.top10_share, 3),
+                "fairness across users": round(
+                    summary.fairness_across_users, 3
+                ),
+            },
+            title="who drives the load:",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,93 @@
+"""Working with trace archives: GWA/SWF round-trips and conversion.
+
+Shows the trace-format substrate: generate calibrated AuverGrid (GWA)
+and ANL (SWF) workloads, write them in their native archive formats,
+read them back, convert both into the common per-job table, and persist
+a full Google-style trace as gzipped CSV.
+
+Run:  python examples/trace_archive_tools.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro.core import render_table
+from repro.synth import DAY, GoogleConfig, generate_google_trace, generate_grid_jobs
+from repro.traces import (
+    grid_jobs_to_job_table,
+    load_trace,
+    read_gwa,
+    read_swf,
+    save_trace,
+    validate_trace,
+    write_gwa,
+    write_swf,
+)
+
+
+def main() -> None:
+    workdir = Path(tempfile.mkdtemp(prefix="repro-traces-"))
+    print(f"writing traces under {workdir}")
+
+    # --- GWA round-trip (AuverGrid) --------------------------------------
+    auvergrid = generate_grid_jobs("AuverGrid", 3 * DAY, seed=1)
+    gwa_path = workdir / "auvergrid.gwa.gz"
+    write_gwa(auvergrid, gwa_path)
+    back = read_gwa(gwa_path)
+    assert back == auvergrid
+    print(f"GWA round-trip ok: {back.num_rows} AuverGrid jobs")
+
+    # --- SWF round-trip (ANL) ---------------------------------------------
+    anl = generate_grid_jobs("ANL", 3 * DAY, seed=2)
+    swf_path = workdir / "anl.swf"
+    write_swf(anl, swf_path, header="ANL synthetic workload")
+    back = read_swf(swf_path)
+    assert back == anl
+    print(f"SWF round-trip ok: {back.num_rows} ANL jobs")
+
+    # --- Conversion into the common job table ------------------------------
+    rows = []
+    for name, native in (("AuverGrid", auvergrid), ("ANL", anl)):
+        jobs = grid_jobs_to_job_table(native)
+        lengths = np.asarray(jobs["end_time"] - jobs["submit_time"])
+        rows.append(
+            (
+                name,
+                jobs.num_rows,
+                round(float(lengths.mean()) / 3600, 2),
+                round(float(jobs["cpu_usage"].mean()), 2),
+                int(jobs["num_tasks"].max()),
+            )
+        )
+    print()
+    print(
+        render_table(
+            ("system", "jobs", "mean length (h)", "mean Eq.4 CPU", "max procs"),
+            rows,
+            title="converted to the common per-job schema:",
+        )
+    )
+
+    # --- Full Google trace persistence --------------------------------------
+    trace = generate_google_trace(
+        horizon=6 * 3600.0,
+        num_machines=10,
+        seed=3,
+        tasks_per_hour=150.0,
+        config=GoogleConfig(busy_window=None),
+    )
+    trace_dir = workdir / "google-trace"
+    save_trace(trace, trace_dir)
+    reloaded = load_trace(trace_dir)
+    validate_trace(reloaded)
+    files = sorted(p.name for p in trace_dir.iterdir())
+    print()
+    print(f"Google trace saved + reloaded + validated: {files}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+"""Best-fit workload modeling: close the characterize->synthesize loop.
+
+The paper's conclusion announces a search for the "best-fit load
+model" as future work. This example runs that loop: generate Google
+task lengths and AuverGrid job lengths from the calibrated models, fit
+the candidate families (exponential, lognormal, Weibull, bounded
+Pareto) by maximum likelihood, rank them by AIC/KS, and resample from
+the winner to verify the recovered model reproduces the measured
+mass-count disparity.
+
+Run:  python examples/workload_fitting.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import (
+    fit_best,
+    joint_ratio_label,
+    mass_count,
+    render_table,
+)
+from repro.synth import (
+    AUVERGRID_TASK_LENGTH,
+    GOOGLE_TASK_LENGTH,
+)
+
+
+def analyze(name: str, sample: np.ndarray, rng: np.random.Generator) -> None:
+    fits = fit_best(sample)
+    rows = [
+        (
+            f.family,
+            f"{f.ks:.4f}",
+            f"{f.aic:.3e}",
+            ", ".join(f"{k}={v:.3g}" for k, v in f.params.items()),
+        )
+        for f in fits
+    ]
+    print(
+        render_table(
+            ("family", "KS", "AIC", "parameters"),
+            rows,
+            title=f"{name}: candidate fits (best first):",
+        )
+    )
+
+    best = fits[0]
+    mc_sample = mass_count(sample)
+    line = (
+        f"measured joint ratio {joint_ratio_label(mc_sample)}"
+    )
+    if best.distribution is not None:
+        resampled = best.distribution.sample(rng, sample.size)
+        mc_model = mass_count(resampled)
+        line += (
+            f"; best-fit {best.family} resample gives "
+            f"{joint_ratio_label(mc_model)}"
+        )
+    print(line)
+    print()
+
+
+def main() -> None:
+    rng = np.random.default_rng(41)
+    google = GOOGLE_TASK_LENGTH.sample(rng, 50_000)
+    auvergrid = AUVERGRID_TASK_LENGTH.sample(rng, 50_000)
+
+    analyze("Google task lengths", google, rng)
+    analyze("AuverGrid job lengths", auvergrid, rng)
+
+    print(
+        "Takeaway: AuverGrid is well described by a single lognormal, while "
+        "Google's body+service-tail mixture defeats every single-family fit "
+        "— the same heavy-tail structure behind the paper's 6/94 joint ratio."
+    )
+
+
+if __name__ == "__main__":
+    main()

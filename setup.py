@@ -1,0 +1,6 @@
+"""Setup shim: enables `python setup.py develop` in offline environments
+where the `wheel` package (needed by PEP-517 editable installs) is absent.
+Configuration lives in pyproject.toml."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,43 @@
+"""repro — reproduction of "Characterization and Comparison of Cloud
+versus Grid Workloads" (Di, Kondo, Cirne — CLUSTER 2012).
+
+Subpackages
+-----------
+``repro.traces``
+    Trace data model: schemas, columnar tables, Google/GWA/SWF formats,
+    I/O and validation.
+``repro.synth``
+    Synthetic workload generation calibrated to the paper's statistics.
+``repro.sim``
+    Event-driven cluster simulator (12 priorities, FCFS per priority,
+    preemptive balance placement, 5-minute usage monitor).
+``repro.core``
+    The statistical methodology: ECDFs, mass-count disparity, Jain
+    fairness, run-length segmentation, noise and autocorrelation.
+``repro.hostload``
+    Host-load reconstruction: per-machine series, max loads, queue
+    states, usage levels, priority-band views.
+``repro.prediction``
+    Host-load prediction baselines (the paper's future work).
+``repro.apps``
+    Downstream applications: consolidation/capacity planning, per-user
+    workload analysis.
+``repro.experiments``
+    One module per table/figure of the paper's evaluation; see
+    ``repro-experiments --list``.
+"""
+
+from . import apps, core, hostload, prediction, sim, synth, traces
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "apps",
+    "core",
+    "hostload",
+    "prediction",
+    "sim",
+    "synth",
+    "traces",
+    "__version__",
+]

@@ -1,0 +1,18 @@
+"""Downstream applications of the characterization (Sec. I use cases)."""
+
+from .consolidation import (
+    ConsolidationReport,
+    consolidation_potential,
+    pack_demands,
+)
+from .users import UserSummary, jobs_per_user, top_user_share, user_summary
+
+__all__ = [
+    "ConsolidationReport",
+    "UserSummary",
+    "consolidation_potential",
+    "jobs_per_user",
+    "pack_demands",
+    "top_user_share",
+    "user_summary",
+]

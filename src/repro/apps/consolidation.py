@@ -1,0 +1,142 @@
+"""Capacity planning / consolidation analysis.
+
+The paper's introduction motivates host-load characterization with
+exactly this use case: "the resource management system can proactively
+shift and consolidate load via (VM) migration to improve host
+utilization, using fewer machines and shutting off unneeded hosts."
+This module quantifies that opportunity on measured (or simulated)
+machine load series: at every sampling instant it bin-packs the
+per-machine demand into as few machines as possible (first-fit
+decreasing over CPU and memory jointly) and reports how much of the
+fleet could be powered down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..hostload.series import MachineLoadSeries
+
+__all__ = ["ConsolidationReport", "consolidation_potential", "pack_demands"]
+
+
+def pack_demands(
+    cpu_demand: np.ndarray,
+    mem_demand: np.ndarray,
+    cpu_capacity: np.ndarray,
+    mem_capacity: np.ndarray,
+    headroom: float = 0.1,
+) -> int:
+    """Minimal machines hosting the demands (first-fit decreasing).
+
+    Demands are packed onto the *largest* machines first with a safety
+    ``headroom`` (fraction of capacity kept free for load spikes —
+    the paper observes Google deliberately reserves capacity to protect
+    service-level objectives). Returns the number of machines used.
+    """
+    if not 0 <= headroom < 1:
+        raise ValueError("headroom must be in [0, 1)")
+    cpu_demand = np.asarray(cpu_demand, dtype=np.float64)
+    mem_demand = np.asarray(mem_demand, dtype=np.float64)
+    if cpu_demand.shape != mem_demand.shape:
+        raise ValueError("demand arrays must have equal shape")
+    # Bins: machines sorted by capacity, biggest first.
+    order = np.argsort(-(cpu_capacity + mem_capacity))
+    cpu_free = (cpu_capacity * (1 - headroom))[order].copy()
+    mem_free = (mem_capacity * (1 - headroom))[order].copy()
+
+    # Items: demands sorted decreasing (FFD).
+    item_order = np.argsort(-(cpu_demand + mem_demand))
+    used = 0
+    for i in item_order:
+        c, m = cpu_demand[i], mem_demand[i]
+        if c <= 0 and m <= 0:
+            continue
+        placed = False
+        for b in range(used):
+            if cpu_free[b] >= c and mem_free[b] >= m:
+                cpu_free[b] -= c
+                mem_free[b] -= m
+                placed = True
+                break
+        if not placed:
+            while used < len(cpu_free):
+                b = used
+                used += 1
+                if cpu_free[b] >= c and mem_free[b] >= m:
+                    cpu_free[b] -= c
+                    mem_free[b] -= m
+                    placed = True
+                    break
+            if not placed:
+                # Demand exceeds every remaining machine: the item runs
+                # where it already was; count one extra machine for it.
+                used = min(used + 1, len(cpu_free))
+    return used
+
+
+@dataclass(frozen=True)
+class ConsolidationReport:
+    """Fleet-consolidation opportunity over the trace."""
+
+    times: np.ndarray
+    machines_needed: np.ndarray
+    fleet_size: int
+
+    @property
+    def mean_needed(self) -> float:
+        return float(self.machines_needed.mean())
+
+    @property
+    def peak_needed(self) -> int:
+        return int(self.machines_needed.max())
+
+    @property
+    def mean_shutoff_fraction(self) -> float:
+        """Average share of the fleet that could be powered down."""
+        return float(1.0 - self.machines_needed.mean() / self.fleet_size)
+
+    @property
+    def always_shutoff_fraction(self) -> float:
+        """Share of the fleet never needed even at the demand peak."""
+        return float(1.0 - self.peak_needed / self.fleet_size)
+
+
+def consolidation_potential(
+    series: dict[int, MachineLoadSeries],
+    headroom: float = 0.1,
+    stride: int = 1,
+) -> ConsolidationReport:
+    """Bin-pack every ``stride``-th sample instant of a fleet's load.
+
+    ``series`` must share a common sampling grid (the monitor's output
+    does). Larger strides trade temporal resolution for speed.
+    """
+    if not series:
+        raise ValueError("series is empty")
+    if stride < 1:
+        raise ValueError("stride must be >= 1")
+    ordered = [series[k] for k in sorted(series)]
+    n_samples = len(ordered[0])
+    for s in ordered:
+        if len(s) != n_samples:
+            raise ValueError("machines have unequal sample counts")
+    cpu_capacity = np.asarray([s.cpu_capacity for s in ordered])
+    mem_capacity = np.asarray([s.mem_capacity for s in ordered])
+    cpu_matrix = np.vstack([s.cpu for s in ordered])  # (machines, time)
+    mem_matrix = np.vstack([s.mem for s in ordered])
+
+    ticks = np.arange(0, n_samples, stride)
+    needed = np.empty(len(ticks), dtype=np.int64)
+    for j, t in enumerate(ticks):
+        needed[j] = pack_demands(
+            cpu_matrix[:, t], mem_matrix[:, t], cpu_capacity, mem_capacity,
+            headroom=headroom,
+        )
+    return ConsolidationReport(
+        times=ordered[0].times[ticks],
+        machines_needed=needed,
+        fleet_size=len(ordered),
+    )

@@ -1,0 +1,131 @@
+"""High-level Cloud-vs-Grid comparison API.
+
+Bundles the per-system workload analyses of Section III into one call:
+given per-job summary tables (Google and any number of Grid systems in
+the common :data:`~repro.traces.schema.JOB_TABLE_SCHEMA` layout), it
+produces job-length CDFs, submission-rate rows, interarrival CDFs and
+resource-usage distributions, plus the headline Cloud-vs-Grid verdicts
+the paper draws.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..traces.convert import job_interarrival_times
+from ..traces.table import Table
+from .ecdf import ECDF, ecdf
+from .fairness import SubmissionRateStats, submission_rate_stats
+
+__all__ = ["SystemWorkload", "CloudGridComparison", "compare_systems"]
+
+
+@dataclass(frozen=True)
+class SystemWorkload:
+    """One system's per-job workload summaries."""
+
+    name: str
+    job_length_cdf: ECDF
+    interarrival_cdf: ECDF
+    submission: SubmissionRateStats
+    cpu_usage_cdf: ECDF
+    mem_usage_cdf: ECDF
+    mean_job_length: float
+    mean_tasks_per_job: float
+
+
+@dataclass(frozen=True)
+class CloudGridComparison:
+    """Comparison of one Cloud system against a set of Grid systems."""
+
+    cloud: SystemWorkload
+    grids: dict[str, SystemWorkload] = field(default_factory=dict)
+
+    def headline(self) -> dict[str, object]:
+        """The paper's qualitative findings, computed from the data.
+
+        Returns a mapping with boolean verdicts plus the supporting
+        numbers; all comparisons are against the Grid systems' mean.
+        """
+        if not self.grids:
+            raise ValueError("comparison requires at least one grid system")
+        grid_rates = np.array([g.submission.avg_per_hour for g in self.grids.values()])
+        grid_fairness = np.array([g.submission.fairness for g in self.grids.values()])
+        grid_lengths = np.array([g.mean_job_length for g in self.grids.values()])
+        grid_cpu_median = np.array(
+            [g.cpu_usage_cdf.quantile(0.5) for g in self.grids.values()]
+        )
+        cloud_cpu_median = self.cloud.cpu_usage_cdf.quantile(0.5)
+        return {
+            "cloud_submits_faster": bool(
+                self.cloud.submission.avg_per_hour > grid_rates.max()
+            ),
+            "cloud_rate_per_hour": self.cloud.submission.avg_per_hour,
+            "grid_max_rate_per_hour": float(grid_rates.max()),
+            "cloud_more_stable_submission": bool(
+                self.cloud.submission.fairness > grid_fairness.max()
+            ),
+            "cloud_fairness": self.cloud.submission.fairness,
+            "grid_fairness_range": (
+                float(grid_fairness.min()),
+                float(grid_fairness.max()),
+            ),
+            "cloud_jobs_shorter": bool(
+                self.cloud.mean_job_length < grid_lengths.min()
+            ),
+            "cloud_mean_job_length": self.cloud.mean_job_length,
+            "grid_mean_job_length_range": (
+                float(grid_lengths.min()),
+                float(grid_lengths.max()),
+            ),
+            "cloud_lower_cpu_demand": bool(
+                cloud_cpu_median < grid_cpu_median.min()
+            ),
+            "cloud_cpu_median": float(cloud_cpu_median),
+            "grid_cpu_median_range": (
+                float(grid_cpu_median.min()),
+                float(grid_cpu_median.max()),
+            ),
+        }
+
+
+def _system_workload(name: str, jobs: Table, horizon: float | None) -> SystemWorkload:
+    lengths = np.asarray(jobs["end_time"] - jobs["submit_time"], dtype=np.float64)
+    inter = job_interarrival_times(jobs)
+    if inter.size == 0:
+        inter = np.array([0.0])
+    cpu = np.asarray(jobs["cpu_usage"], dtype=np.float64)
+    mem = np.asarray(jobs["mem_usage"], dtype=np.float64)
+    return SystemWorkload(
+        name=name,
+        job_length_cdf=ecdf(lengths),
+        interarrival_cdf=ecdf(inter),
+        submission=submission_rate_stats(np.asarray(jobs["submit_time"]), horizon),
+        cpu_usage_cdf=ecdf(cpu),
+        mem_usage_cdf=ecdf(mem),
+        mean_job_length=float(lengths.mean()),
+        mean_tasks_per_job=float(np.asarray(jobs["num_tasks"]).mean()),
+    )
+
+
+def compare_systems(
+    cloud_jobs: Table,
+    grid_jobs: dict[str, Table],
+    cloud_name: str = "Google",
+    horizon: float | None = None,
+) -> CloudGridComparison:
+    """Build a :class:`CloudGridComparison` from per-job summary tables.
+
+    All tables must follow the common job-table schema (convert archive
+    formats with :func:`repro.traces.convert.grid_jobs_to_job_table`).
+    """
+    if not grid_jobs:
+        raise ValueError("at least one grid system is required")
+    cloud = _system_workload(cloud_name, cloud_jobs, horizon)
+    grids = {
+        name: _system_workload(name, table, horizon)
+        for name, table in grid_jobs.items()
+    }
+    return CloudGridComparison(cloud=cloud, grids=grids)

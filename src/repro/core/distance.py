@@ -1,0 +1,74 @@
+"""Distribution-distance metrics for cross-system comparison.
+
+The paper compares systems by overlaying CDFs (Figs. 3, 5, 6); these
+metrics make the visual comparison quantitative: the two-sample
+Kolmogorov-Smirnov distance, the area between CDFs (a robust
+first-order Wasserstein on a bounded range), and stochastic-dominance
+checks ("Google's CDF lies left of every Grid CDF").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "ks_two_sample",
+    "cdf_area_distance",
+    "stochastically_smaller",
+]
+
+
+def _merged_grid(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    return np.unique(np.concatenate([a, b]))
+
+
+def _ecdf_at(sample: np.ndarray, grid: np.ndarray) -> np.ndarray:
+    sample = np.sort(sample)
+    return np.searchsorted(sample, grid, side="right") / sample.size
+
+
+def _validate(a: np.ndarray, b: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if a.size == 0 or b.size == 0:
+        raise ValueError("samples must be non-empty")
+    if np.any(~np.isfinite(a)) or np.any(~np.isfinite(b)):
+        raise ValueError("samples must be finite")
+    return a, b
+
+
+def ks_two_sample(a: np.ndarray, b: np.ndarray) -> float:
+    """Two-sample KS distance: sup |F_a - F_b|."""
+    a, b = _validate(a, b)
+    grid = _merged_grid(a, b)
+    return float(np.abs(_ecdf_at(a, grid) - _ecdf_at(b, grid)).max())
+
+
+def cdf_area_distance(a: np.ndarray, b: np.ndarray) -> float:
+    """Integral of |F_a - F_b| over the merged support.
+
+    Equals the first-order Wasserstein distance between the empirical
+    distributions; same units as the data.
+    """
+    a, b = _validate(a, b)
+    grid = _merged_grid(a, b)
+    if grid.size == 1:
+        return 0.0
+    gaps = np.diff(grid)
+    diff = np.abs(_ecdf_at(a, grid) - _ecdf_at(b, grid))[:-1]
+    return float(np.dot(diff, gaps))
+
+
+def stochastically_smaller(
+    a: np.ndarray, b: np.ndarray, tolerance: float = 0.0
+) -> bool:
+    """True when F_a >= F_b everywhere (a is stochastically smaller).
+
+    ``tolerance`` allows F_a to dip below F_b by at most that much —
+    useful for noisy empirical CDFs that cross microscopically.
+    """
+    if tolerance < 0:
+        raise ValueError("tolerance must be non-negative")
+    a, b = _validate(a, b)
+    grid = _merged_grid(a, b)
+    return bool(np.all(_ecdf_at(a, grid) >= _ecdf_at(b, grid) - tolerance))

@@ -1,0 +1,60 @@
+"""ASCII table rendering for the experiment harness output.
+
+Every benchmark prints the rows/series the paper's table or figure
+reports; this module keeps that formatting in one place.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+__all__ = ["render_table", "render_kv", "format_number"]
+
+
+def format_number(value: object, precision: int = 4) -> str:
+    """Compact numeric formatting: ints plain, floats trimmed."""
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float):
+        if value == int(value) and abs(value) < 1e15:
+            return str(int(value))
+        return f"{value:.{precision}g}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+    precision: int = 4,
+) -> str:
+    """Render a fixed-width ASCII table."""
+    str_rows = [[format_number(v, precision) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError("row length does not match headers")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_kv(pairs: dict[str, object], title: str | None = None) -> str:
+    """Render key/value pairs, one per line."""
+    lines = []
+    if title:
+        lines.append(title)
+    width = max((len(k) for k in pairs), default=0)
+    for key, value in pairs.items():
+        lines.append(f"{key.ljust(width)} : {format_number(value)}")
+    return "\n".join(lines)

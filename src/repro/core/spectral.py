@@ -1,0 +1,120 @@
+"""Temporal-structure analysis: ACF, periodogram, diurnal strength.
+
+The related work the paper builds on (H. Li's Grid workload dynamics)
+shows Grid load has strong diurnal periodicity exploitable for
+prediction, while Section IV finds Google load nearly structureless.
+These tools quantify that contrast: autocorrelation functions, an
+FFT periodogram, and a diurnal-strength index comparing spectral mass
+at the 24-hour frequency against the background.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .noise import autocorrelation
+
+__all__ = [
+    "acf",
+    "periodogram",
+    "dominant_period",
+    "diurnal_strength",
+    "folded_daily_profile",
+    "daily_profile_amplitude",
+]
+
+
+def acf(signal: np.ndarray, max_lag: int) -> np.ndarray:
+    """Autocorrelation function for lags ``1..max_lag``."""
+    signal = np.asarray(signal, dtype=np.float64)
+    if max_lag < 1:
+        raise ValueError("max_lag must be >= 1")
+    if signal.size <= max_lag:
+        raise ValueError("signal shorter than max_lag")
+    return np.asarray(
+        [autocorrelation(signal, lag) for lag in range(1, max_lag + 1)]
+    )
+
+
+def periodogram(
+    signal: np.ndarray, sample_period: float
+) -> tuple[np.ndarray, np.ndarray]:
+    """One-sided power spectrum ``(frequencies_hz, power)`` of a series.
+
+    The mean is removed before the FFT so the DC component does not
+    swamp the spectrum.
+    """
+    signal = np.asarray(signal, dtype=np.float64)
+    if signal.size < 4:
+        raise ValueError("signal too short for a periodogram")
+    if sample_period <= 0:
+        raise ValueError("sample_period must be positive")
+    x = signal - signal.mean()
+    spectrum = np.fft.rfft(x)
+    power = (np.abs(spectrum) ** 2) / signal.size
+    freqs = np.fft.rfftfreq(signal.size, d=sample_period)
+    return freqs[1:], power[1:]  # drop the (zeroed) DC bin
+
+
+def dominant_period(signal: np.ndarray, sample_period: float) -> float:
+    """Period (seconds) of the strongest spectral component."""
+    freqs, power = periodogram(signal, sample_period)
+    return float(1.0 / freqs[int(np.argmax(power))])
+
+
+def diurnal_strength(
+    signal: np.ndarray, sample_period: float, tolerance: float = 0.2
+) -> float:
+    """Spectral mass near the 24-hour frequency over the total mass.
+
+    ``tolerance`` widens the band around 1/86400 Hz (fractional). A
+    strongly diurnal Grid arrival series scores far above a flat Cloud
+    series; 0 means no daily structure at all.
+    """
+    if not 0 < tolerance < 1:
+        raise ValueError("tolerance must be in (0, 1)")
+    freqs, power = periodogram(signal, sample_period)
+    total = float(power.sum())
+    if total <= 0:
+        return 0.0
+    target = 1.0 / 86400.0
+    band = (freqs >= target * (1 - tolerance)) & (
+        freqs <= target * (1 + tolerance)
+    )
+    return float(power[band].sum() / total)
+
+
+def folded_daily_profile(
+    values: np.ndarray, samples_per_day: int
+) -> np.ndarray:
+    """Average value per position-in-day (fold the series by day).
+
+    Whole days only; trailing partial days are dropped. This is the
+    robust way to expose diurnal structure in bursty series, where the
+    burst noise swamps a raw periodogram.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    if samples_per_day < 2:
+        raise ValueError("samples_per_day must be >= 2")
+    n_days = values.size // samples_per_day
+    if n_days < 1:
+        raise ValueError("series shorter than one day")
+    folded = values[: n_days * samples_per_day].reshape(
+        n_days, samples_per_day
+    )
+    return folded.mean(axis=0)
+
+
+def daily_profile_amplitude(
+    values: np.ndarray, samples_per_day: int
+) -> float:
+    """Relative swing of the folded daily profile: (max-min)/mean.
+
+    ~0 for flat Cloud submission streams; large for diurnal Grid
+    streams (the day/night cycle the paper's Grids exhibit).
+    """
+    profile = folded_daily_profile(values, samples_per_day)
+    mean = float(profile.mean())
+    if mean <= 0:
+        return 0.0
+    return float((profile.max() - profile.min()) / mean)

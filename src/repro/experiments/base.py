@@ -1,0 +1,63 @@
+"""Common experiment-result container and rendering."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+from ..core.report import render_kv, render_table
+
+__all__ = ["ExperimentResult", "ResultTable"]
+
+
+@dataclass(frozen=True)
+class ResultTable:
+    """One printable table of an experiment's output."""
+
+    title: str
+    headers: tuple[str, ...]
+    rows: tuple[tuple[object, ...], ...]
+
+    @staticmethod
+    def build(
+        title: str,
+        headers: Sequence[str],
+        rows: Sequence[Sequence[object]],
+    ) -> "ResultTable":
+        return ResultTable(
+            title=title,
+            headers=tuple(headers),
+            rows=tuple(tuple(r) for r in rows),
+        )
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """Output of one table/figure reproduction.
+
+    ``metrics`` holds the headline scalars compared against the paper;
+    ``paper_reference`` records what the paper reported for the same
+    quantity (textual, since we only match shape).
+    """
+
+    experiment_id: str
+    title: str
+    tables: tuple[ResultTable, ...] = ()
+    metrics: dict[str, object] = field(default_factory=dict)
+    paper_reference: dict[str, object] = field(default_factory=dict)
+    notes: str = ""
+
+    def render(self) -> str:
+        """Human-readable report block."""
+        parts = [f"== {self.experiment_id}: {self.title} =="]
+        for table in self.tables:
+            parts.append(
+                render_table(table.headers, table.rows, title=table.title)
+            )
+        if self.metrics:
+            parts.append(render_kv(self.metrics, title="measured:"))
+        if self.paper_reference:
+            parts.append(render_kv(self.paper_reference, title="paper reports:"))
+        if self.notes:
+            parts.append(f"notes: {self.notes}")
+        return "\n\n".join(parts)

@@ -1,0 +1,61 @@
+"""Extension 1 — diurnal structure of submission streams.
+
+Quantifies the periodicity claim behind Table I's fairness gap (and
+H. Li's Grid-dynamics results the paper builds on): Grid arrival
+streams swing through a strong day/night cycle while the Cloud stream
+is nearly flat.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.fairness import hourly_counts
+from ..core.spectral import daily_profile_amplitude
+from .base import ExperimentResult, ResultTable
+from .datasets import grid_system_names, workload_dataset
+
+__all__ = ["run"]
+
+
+def run(scale: str = "paper", seed: int = 0) -> ExperimentResult:
+    data = workload_dataset(scale, seed)
+    systems = {"Google": data.google_jobs}
+    systems.update({n: data.grid_jobs[n] for n in grid_system_names()})
+
+    rows = []
+    amplitudes: dict[str, float] = {}
+    for name, jobs in systems.items():
+        counts = hourly_counts(
+            np.asarray(jobs["submit_time"]), data.horizon
+        ).astype(float)
+        amp = daily_profile_amplitude(counts, 24)
+        amplitudes[name] = amp
+        rows.append((name, round(amp, 3)))
+
+    grid_amps = [v for k, v in amplitudes.items() if k != "Google"]
+    return ExperimentResult(
+        experiment_id="ext1",
+        title="Diurnal amplitude of job submissions",
+        tables=(
+            ResultTable.build(
+                "daily-profile amplitude (max-min)/mean of hourly rates",
+                ("system", "amplitude"),
+                rows,
+            ),
+        ),
+        metrics={
+            "google_amplitude": round(amplitudes["Google"], 3),
+            "min_grid_amplitude": round(min(grid_amps), 3),
+            "grids_all_more_diurnal": all(
+                a > amplitudes["Google"] for a in grid_amps
+            ),
+        },
+        paper_reference={
+            "finding": (
+                "Grid job submissions exhibit significantly low fairness "
+                "because of their strong diurnal periodicity (Sec. III.3)"
+            ),
+        },
+        notes="Every Grid stream swings through a deeper day/night cycle.",
+    )

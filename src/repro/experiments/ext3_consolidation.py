@@ -1,0 +1,74 @@
+"""Extension 3 — consolidation potential of the simulated fleet.
+
+Quantifies the introduction's motivating use case: with CPUs ~35% busy
+and memory ~60% full, how many machines could a consolidating resource
+manager power down?
+"""
+
+from __future__ import annotations
+
+from ..apps.consolidation import consolidation_potential
+from .base import ExperimentResult, ResultTable
+from .datasets import simulation_dataset
+
+__all__ = ["run"]
+
+_HEADROOMS = (0.05, 0.1, 0.2)
+
+
+def run(scale: str = "paper", seed: int = 0) -> ExperimentResult:
+    data = simulation_dataset(scale, seed)
+
+    rows = []
+    reports = {}
+    for headroom in _HEADROOMS:
+        report = consolidation_potential(
+            data.series, headroom=headroom, stride=12
+        )
+        reports[headroom] = report
+        rows.append(
+            (
+                headroom,
+                report.fleet_size,
+                round(report.mean_needed, 1),
+                report.peak_needed,
+                round(report.mean_shutoff_fraction, 3),
+                round(report.always_shutoff_fraction, 3),
+            )
+        )
+
+    base = reports[0.1]
+    return ExperimentResult(
+        experiment_id="ext3",
+        title="Fleet consolidation potential",
+        tables=(
+            ResultTable.build(
+                "machines needed when bin-packing measured demand hourly",
+                (
+                    "headroom",
+                    "fleet",
+                    "mean_needed",
+                    "peak_needed",
+                    "mean_shutoff",
+                    "always_shutoff",
+                ),
+                rows,
+            ),
+        ),
+        metrics={
+            "mean_shutoff_fraction": round(base.mean_shutoff_fraction, 3),
+            "always_shutoff_fraction": round(base.always_shutoff_fraction, 3),
+            "consolidation_worthwhile": base.mean_shutoff_fraction > 0.1,
+        },
+        paper_reference={
+            "finding": (
+                "the resource management system can proactively shift and "
+                "consolidate load via (VM) migration ... using fewer "
+                "machines and shutting off unneeded hosts (Sec. I)"
+            ),
+        },
+        notes=(
+            "Memory is the binding resource (usage ~60-70% vs CPU ~35%), "
+            "capping the shutoff fraction well below the CPU idleness."
+        ),
+    )

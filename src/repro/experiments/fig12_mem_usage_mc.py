@@ -1,0 +1,76 @@
+"""Fig. 12 — mass-count disparity of relative memory usage.
+
+Paper: joint ratio ~43/57 with mm-distance ~8% (all priorities) and
+~41/59 / ~13% (high priority); memory load ~60% overall and ~50% for
+high-priority tasks — higher than CPU in both views.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..hostload.levels import usage_mass_count
+from ..hostload.priority import band_usage
+from .base import ExperimentResult, ResultTable
+from .datasets import simulation_dataset
+
+__all__ = ["run"]
+
+
+def run(scale: str = "paper", seed: int = 0) -> ExperimentResult:
+    data = simulation_dataset(scale, seed)
+
+    mc_all = usage_mass_count(data.series, "mem")
+    mc_high = usage_mass_count(data.series, "mem_high")
+
+    mean_mem = float(
+        np.mean([band_usage(s, "mem", "all").mean() for s in data.series.values()])
+    )
+    mean_mem_high = float(
+        np.mean([band_usage(s, "mem", "high").mean() for s in data.series.values()])
+    )
+    mean_cpu = float(
+        np.mean([band_usage(s, "cpu", "all").mean() for s in data.series.values()])
+    )
+
+    rows = [
+        (
+            "all priorities",
+            f"{mc_all.joint_ratio[0]:.0f}/{mc_all.joint_ratio[1]:.0f}",
+            round(100 * mc_all.mm_distance_relative(1.0), 1),
+            round(100 * mean_mem, 1),
+        ),
+        (
+            "high priority",
+            f"{mc_high.joint_ratio[0]:.0f}/{mc_high.joint_ratio[1]:.0f}",
+            round(100 * mc_high.mm_distance_relative(1.0), 1),
+            round(100 * mean_mem_high, 1),
+        ),
+    ]
+    return ExperimentResult(
+        experiment_id="fig12",
+        title="Mass-count disparity of memory usage",
+        tables=(
+            ResultTable.build(
+                "Fig. 12: memory usage mass-count",
+                ("tasks", "joint_ratio", "mmdist_%", "mean_usage_%"),
+                rows,
+            ),
+        ),
+        metrics={
+            "all_joint_small_side": round(mc_all.joint_ratio[0], 1),
+            "high_joint_small_side": round(mc_high.joint_ratio[0], 1),
+            "mean_mem_usage_pct": round(100 * mean_mem, 1),
+            "mean_mem_usage_high_pct": round(100 * mean_mem_high, 1),
+            "mem_above_cpu": mean_mem > mean_cpu,
+        },
+        paper_reference={
+            "all": "joint ratio 43/57, mmdist 8%, load ~60%",
+            "high": "joint ratio 41/59, mmdist 13%, load ~50%",
+            "finding": "memory usage is much higher than CPU usage",
+        },
+        notes=(
+            "Memory load exceeds CPU load and its distribution is close to "
+            "uniform, matching Fig. 12."
+        ),
+    )

@@ -1,0 +1,72 @@
+"""Fig. 2 — number of jobs and tasks per priority (1..12).
+
+The paper's histogram clusters into three bands: low (1-4) holds the
+bulk of jobs, middle (5-8) a moderate share led by priority 6, and a
+visible spike of high-priority (9) production services.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.ecdf import histogram_counts
+from ..traces.schema import priority_band_array
+from .base import ExperimentResult, ResultTable
+from .datasets import workload_dataset
+
+__all__ = ["run"]
+
+
+def run(scale: str = "paper", seed: int = 0) -> ExperimentResult:
+    data = workload_dataset(scale, seed)
+    jobs = data.google_jobs
+    priorities = np.arange(1, 13)
+
+    job_counts = histogram_counts(np.asarray(jobs["priority"]), priorities)
+    # Task counts weight each job by its task fan-out.
+    task_counts = np.array(
+        [
+            int(jobs["num_tasks"][jobs["priority"] == p].sum())
+            for p in priorities
+        ],
+        dtype=np.int64,
+    )
+
+    bands = priority_band_array(np.asarray(jobs["priority"]))
+    band_fracs = {
+        "low(1-4)": float(np.count_nonzero(bands == 0) / len(jobs)),
+        "middle(5-8)": float(np.count_nonzero(bands == 1) / len(jobs)),
+        "high(9-12)": float(np.count_nonzero(bands == 2) / len(jobs)),
+    }
+
+    rows = [
+        (int(p), int(jc), int(tc))
+        for p, jc, tc in zip(priorities, job_counts, task_counts)
+    ]
+    return ExperimentResult(
+        experiment_id="fig2",
+        title="Jobs and tasks per priority",
+        tables=(
+            ResultTable.build(
+                "Fig. 2: counts per priority",
+                ("priority", "num_jobs", "num_tasks"),
+                rows,
+            ),
+        ),
+        metrics={
+            "total_jobs": int(len(jobs)),
+            "total_tasks": int(jobs["num_tasks"].sum()),
+            **{f"job_frac_{k}": round(v, 3) for k, v in band_fracs.items()},
+            "modal_priority": int(priorities[np.argmax(job_counts)]),
+        },
+        paper_reference={
+            "total_jobs": "~670,000",
+            "total_tasks": ">25 million",
+            "labeled_bars_x1e4": "p1=16, p2=11.3, p3=17, p4=13, p5=0.9, p6=4, p9=4.7",
+            "finding": "most jobs/tasks sit at low priorities (1-5)",
+        },
+        notes=(
+            "Priorities cluster into low/middle/high exactly as the paper's "
+            "three groups; counts scale with the generated horizon."
+        ),
+    )

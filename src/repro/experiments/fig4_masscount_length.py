@@ -1,0 +1,72 @@
+"""Fig. 4 — mass-count disparity of task lengths, Google vs AuverGrid.
+
+The paper reports joint ratio 6/94 with mm-distance 23.19 (days) for
+Google — an extreme Pareto-principle economy where a tiny fraction of
+long service tasks holds nearly all the execution-time mass — against
+AuverGrid's mild 24/76 with mm-distance 0.82 days.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.masscount import joint_ratio_label, mass_count
+from ..synth.presets import DAY
+from .base import ExperimentResult, ResultTable
+from .datasets import workload_dataset
+
+__all__ = ["run"]
+
+
+def run(scale: str = "paper", seed: int = 0) -> ExperimentResult:
+    data = workload_dataset(scale, seed)
+    google_lengths = np.asarray(data.google_tasks.duration)
+    ag = data.grid_jobs_native["AuverGrid"]
+    ag_lengths = np.asarray(ag["run_time"])
+
+    mc_google = mass_count(google_lengths)
+    mc_ag = mass_count(ag_lengths)
+
+    rows = [
+        (
+            "Google",
+            joint_ratio_label(mc_google),
+            round(mc_google.mm_distance / DAY, 2),
+            round(float(google_lengths.mean()) / 3600.0, 2),
+            round(float(google_lengths.max()) / DAY, 1),
+        ),
+        (
+            "AuverGrid",
+            joint_ratio_label(mc_ag),
+            round(mc_ag.mm_distance / DAY, 2),
+            round(float(ag_lengths.mean()) / 3600.0, 2),
+            round(float(ag_lengths.max()) / DAY, 1),
+        ),
+    ]
+    return ExperimentResult(
+        experiment_id="fig4",
+        title="Mass-count disparity of task lengths",
+        tables=(
+            ResultTable.build(
+                "Fig. 4: joint ratio / mm-distance / mean / max",
+                ("system", "joint_ratio", "mmdist_days", "mean_hours", "max_days"),
+                rows,
+            ),
+        ),
+        metrics={
+            "google_joint_small_side": round(mc_google.joint_ratio[0], 1),
+            "auvergrid_joint_small_side": round(mc_ag.joint_ratio[0], 1),
+            "google_more_pareto": mc_google.joint_ratio[0]
+            < mc_ag.joint_ratio[0],
+            "google_mmdist_days": round(mc_google.mm_distance / DAY, 2),
+            "auvergrid_mmdist_days": round(mc_ag.mm_distance / DAY, 2),
+        },
+        paper_reference={
+            "google": "joint ratio 6/94, mmdist 23.19, mean 5.6 h, max 29 d",
+            "auvergrid": "joint ratio 24/76, mmdist 0.82, mean 7.2 h, max 18 d",
+        },
+        notes=(
+            "Google's task-length distribution exhibits the Pareto principle "
+            "far more strongly than AuverGrid's, matching Fig. 4."
+        ),
+    )

@@ -1,0 +1,65 @@
+"""Fig. 5 — CDF of the interval between consecutive job submissions.
+
+Google submission intervals are far shorter than any Grid system's:
+the Cloud receives a near-continuous job stream while Grids idle
+between diurnal bursts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.ecdf import ecdf
+from ..traces.convert import job_interarrival_times
+from .base import ExperimentResult, ResultTable
+from .datasets import grid_system_names, workload_dataset
+
+__all__ = ["run", "CDF_POINTS"]
+
+#: Interarrival evaluation grid (seconds), the figure's x-axis.
+CDF_POINTS = (5, 10, 30, 60, 120, 300, 600, 1000, 2000)
+
+
+def run(scale: str = "paper", seed: int = 0) -> ExperimentResult:
+    data = workload_dataset(scale, seed)
+    systems = {"Google": data.google_jobs}
+    systems.update({n: data.grid_jobs[n] for n in grid_system_names()})
+
+    rows = []
+    medians: dict[str, float] = {}
+    means: dict[str, float] = {}
+    for name, jobs in systems.items():
+        gaps = job_interarrival_times(jobs)
+        cdf = ecdf(gaps)
+        medians[name] = float(np.median(gaps))
+        means[name] = float(gaps.mean())
+        rows.append((name, *(round(float(cdf(x)), 3) for x in CDF_POINTS)))
+
+    grid_means = [v for k, v in means.items() if k != "Google"]
+    return ExperimentResult(
+        experiment_id="fig5",
+        title="CDF of job submission intervals",
+        tables=(
+            ResultTable.build(
+                "Fig. 5: P(interval <= x seconds)",
+                ("system", *(f"<={x}s" for x in CDF_POINTS)),
+                rows,
+            ),
+        ),
+        metrics={
+            "google_median_interval_s": round(medians["Google"], 2),
+            "google_mean_interval_s": round(means["Google"], 2),
+            "min_grid_mean_interval_s": round(min(grid_means), 1),
+            "google_shortest_intervals": means["Google"] < min(grid_means),
+        },
+        paper_reference={
+            "finding": (
+                "Google's submission-interval CDF lies far left of every "
+                "Grid system's (much higher submission frequency)"
+            ),
+        },
+        notes=(
+            "At 552 jobs/hour the median Google gap is a few seconds; Grid "
+            "systems wait minutes to hours between submissions."
+        ),
+    )

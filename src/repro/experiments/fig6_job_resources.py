@@ -1,0 +1,94 @@
+"""Fig. 6 — per-job CPU usage (Eq. 4) and memory usage CDFs.
+
+Google jobs mostly need less than one processor (interactive work);
+AuverGrid/DAS-2 jobs are parallel programs whose Eq.-4 usage clusters
+at integer processor counts. Google memory per job, rescaled under a
+32/64 GB node assumption, stays far below Grid jobs' footprints.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.ecdf import ecdf
+from ..core.usage import memory_usage_mb
+from .base import ExperimentResult, ResultTable
+from .datasets import workload_dataset
+
+__all__ = ["run", "CPU_POINTS", "MEM_POINTS_MB"]
+
+CPU_POINTS = (0.5, 1.0, 2.0, 3.0, 4.0, 5.0)
+MEM_POINTS_MB = (50, 100, 200, 400, 600, 800, 1000)
+
+_CPU_SYSTEMS = ("AuverGrid", "DAS-2")
+_MEM_SYSTEMS = ("AuverGrid", "SHARCNET", "DAS-2")
+
+
+def run(scale: str = "paper", seed: int = 0) -> ExperimentResult:
+    data = workload_dataset(scale, seed)
+
+    # -- Fig. 6(a): CPU usage over all processors -------------------------
+    cpu_rows = []
+    cpu_cdfs = {}
+    google_cpu = np.asarray(data.google_jobs["cpu_usage"])
+    cpu_cdfs["Google"] = ecdf(google_cpu)
+    for name in _CPU_SYSTEMS:
+        cpu_cdfs[name] = ecdf(np.asarray(data.grid_jobs[name]["cpu_usage"]))
+    for name, cdf in cpu_cdfs.items():
+        cpu_rows.append((name, *(round(float(cdf(x)), 3) for x in CPU_POINTS)))
+
+    # -- Fig. 6(b): memory usage in MB ------------------------------------
+    mem_rows = []
+    mem_cdfs = {}
+    google_mem_norm = np.asarray(data.google_jobs["mem_usage"])
+    for cap_gb in (32.0, 64.0):
+        mem_cdfs[f"Google(MaxCap={cap_gb:.0f}GB)"] = ecdf(
+            memory_usage_mb(google_mem_norm, cap_gb)
+        )
+    for name in _MEM_SYSTEMS:
+        kb = np.asarray(data.grid_jobs_native[name]["used_memory"])
+        mem_cdfs[name] = ecdf(kb / 1024.0)
+    for name, cdf in mem_cdfs.items():
+        mem_rows.append(
+            (name, *(round(float(cdf(x)), 3) for x in MEM_POINTS_MB))
+        )
+
+    google_under_1cpu = float(cpu_cdfs["Google"](1.0))
+    grid_under_1cpu = min(
+        float(cpu_cdfs[name](1.0)) for name in _CPU_SYSTEMS
+    )
+    g32 = mem_cdfs["Google(MaxCap=32GB)"]
+    grid_mem_median = {
+        name: float(mem_cdfs[name].quantile(0.5)) for name in _MEM_SYSTEMS
+    }
+    return ExperimentResult(
+        experiment_id="fig6",
+        title="Per-job CPU and memory usage",
+        tables=(
+            ResultTable.build(
+                "Fig. 6(a): P(CPU usage <= x processors)",
+                ("system", *(f"<={x}" for x in CPU_POINTS)),
+                cpu_rows,
+            ),
+            ResultTable.build(
+                "Fig. 6(b): P(memory usage <= x MB)",
+                ("system", *(f"<={x}MB" for x in MEM_POINTS_MB)),
+                mem_rows,
+            ),
+        ),
+        metrics={
+            "google_frac_under_1_cpu": round(google_under_1cpu, 3),
+            "min_grid_frac_under_1_cpu": round(grid_under_1cpu, 3),
+            "google_lower_cpu": google_under_1cpu > grid_under_1cpu,
+            "google_mem_median_mb_32gb": round(float(g32.quantile(0.5)), 1),
+            "min_grid_mem_median_mb": round(min(grid_mem_median.values()), 1),
+        },
+        paper_reference={
+            "cpu": "a large majority of Google jobs need <= 1 processor",
+            "mem": "Google jobs' memory stays small versus Grid jobs",
+        },
+        notes=(
+            "Google CDFs dominate at low usage on both axes, matching the "
+            "figure: interactive Cloud jobs demand far fewer resources."
+        ),
+    )

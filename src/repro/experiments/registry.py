@@ -1,0 +1,85 @@
+"""Registry mapping experiment ids to their run functions."""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from . import (
+    ext1_diurnal,
+    ext2_prediction,
+    ext3_consolidation,
+    ext4_fitting,
+    ext5_modes,
+    fig2_priority,
+    fig3_job_length,
+    fig4_masscount_length,
+    fig5_interarrival,
+    fig6_job_resources,
+    fig7_max_load,
+    fig8_queue_state,
+    fig9_queue_durations,
+    fig10_usage_snapshot,
+    fig11_cpu_usage_mc,
+    fig12_mem_usage_mc,
+    fig13_hostload_compare,
+    scorecard,
+    tab1_submission_rate,
+    tab23_level_durations,
+    txt1_completion_mix,
+    txt2_task_length_stats,
+)
+from .base import ExperimentResult
+
+__all__ = ["EXPERIMENTS", "run_experiment", "run_all"]
+
+RunFn = Callable[..., ExperimentResult]
+
+#: Experiment id -> run(scale, seed) function, in paper order.
+EXPERIMENTS: dict[str, RunFn] = {
+    "fig2": fig2_priority.run,
+    "fig3": fig3_job_length.run,
+    "fig4": fig4_masscount_length.run,
+    "fig5": fig5_interarrival.run,
+    "tab1": tab1_submission_rate.run,
+    "fig6": fig6_job_resources.run,
+    "fig7": fig7_max_load.run,
+    "fig8": fig8_queue_state.run,
+    "fig9": fig9_queue_durations.run,
+    "fig10": fig10_usage_snapshot.run,
+    "tab2": tab23_level_durations.run_cpu,
+    "tab3": tab23_level_durations.run_mem,
+    "fig11": fig11_cpu_usage_mc.run,
+    "fig12": fig12_mem_usage_mc.run,
+    "fig13": fig13_hostload_compare.run,
+    "txt1": txt1_completion_mix.run,
+    "txt2": txt2_task_length_stats.run,
+    # Extensions: the paper's motivating applications and future work.
+    "ext1": ext1_diurnal.run,
+    "ext2": ext2_prediction.run,
+    "ext3": ext3_consolidation.run,
+    "ext4": ext4_fitting.run,
+    "ext5": ext5_modes.run,
+    "scorecard": scorecard.run,
+}
+
+
+def run_experiment(
+    experiment_id: str, scale: str = "paper", seed: int = 0
+) -> ExperimentResult:
+    """Run one experiment by id."""
+    try:
+        fn = EXPERIMENTS[experiment_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; "
+            f"available: {sorted(EXPERIMENTS)}"
+        ) from None
+    return fn(scale=scale, seed=seed)
+
+
+def run_all(scale: str = "paper", seed: int = 0) -> dict[str, ExperimentResult]:
+    """Run every experiment (datasets are shared via memoization)."""
+    return {
+        exp_id: fn(scale=scale, seed=seed)
+        for exp_id, fn in EXPERIMENTS.items()
+    }

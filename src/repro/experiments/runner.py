@@ -1,0 +1,71 @@
+"""Command-line harness: regenerate the paper's tables and figures.
+
+Usage::
+
+    repro-experiments --list
+    repro-experiments                     # run everything at paper scale
+    repro-experiments fig4 tab1 --scale small --seed 1
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from .datasets import SCALES
+from .registry import EXPERIMENTS, run_experiment
+
+__all__ = ["main"]
+
+
+def _parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description=(
+            "Reproduce the tables and figures of 'Characterization and "
+            "Comparison of Cloud versus Grid Workloads' (CLUSTER 2012)."
+        ),
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        metavar="ID",
+        help="experiment ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list experiment ids and exit"
+    )
+    parser.add_argument(
+        "--scale",
+        choices=sorted(SCALES),
+        default="paper",
+        help="dataset scale (default: paper)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="random seed")
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = _parser().parse_args(argv)
+    if args.list:
+        for exp_id, fn in EXPERIMENTS.items():
+            doc = (fn.__doc__ or "").strip().splitlines()
+            first = doc[0] if doc else ""
+            print(f"{exp_id:8s} {first}")
+        return 0
+    ids = args.experiments or list(EXPERIMENTS)
+    unknown = [i for i in ids if i not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment ids: {unknown}", file=sys.stderr)
+        print(f"available: {sorted(EXPERIMENTS)}", file=sys.stderr)
+        return 2
+    for exp_id in ids:
+        result = run_experiment(exp_id, scale=args.scale, seed=args.seed)
+        print(result.render())
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

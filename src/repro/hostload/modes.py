@@ -1,0 +1,159 @@
+"""Host-load mode discovery.
+
+The paper's introduction motivates characterization with exactly this:
+"by characterizing common modes of host load within a data center, a
+job scheduler can use this information for task allocation and improve
+utilization". Fig. 10's narration also sketches the modes by eye —
+always-light machines, always-heavy ones, two-level alternators and
+irregular ones. This module extracts such modes automatically:
+featurize every machine's load series and cluster with (pure-NumPy)
+k-means, seeded by k-means++.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.noise import autocorrelation
+from .series import MachineLoadSeries
+
+__all__ = ["LoadModes", "machine_features", "kmeans", "discover_modes", "FEATURE_NAMES"]
+
+#: Feature vector layout produced by :func:`machine_features`.
+FEATURE_NAMES = (
+    "cpu_mean",
+    "cpu_std",
+    "mem_mean",
+    "mem_std",
+    "cpu_autocorr",
+    "mem_autocorr",
+)
+
+
+def machine_features(series: MachineLoadSeries) -> np.ndarray:
+    """Shape descriptors of one machine's relative load."""
+    cpu = series.relative("cpu")
+    mem = series.relative("mem")
+    if cpu.size < 3:
+        raise ValueError("series too short to featurize")
+    return np.array(
+        [
+            cpu.mean(),
+            cpu.std(),
+            mem.mean(),
+            mem.std(),
+            autocorrelation(cpu),
+            autocorrelation(mem),
+        ]
+    )
+
+
+def kmeans(
+    points: np.ndarray,
+    k: int,
+    rng: np.random.Generator,
+    max_iter: int = 100,
+) -> tuple[np.ndarray, np.ndarray]:
+    """K-means with k-means++ seeding. Returns (labels, centroids)."""
+    points = np.asarray(points, dtype=np.float64)
+    if points.ndim != 2 or points.shape[0] < 1:
+        raise ValueError("points must be a non-empty 2-D array")
+    n = points.shape[0]
+    if not 1 <= k <= n:
+        raise ValueError("k must be in 1..num_points")
+
+    # k-means++ seeding.
+    centroids = np.empty((k, points.shape[1]))
+    centroids[0] = points[rng.integers(0, n)]
+    for j in range(1, k):
+        d2 = np.min(
+            ((points[:, None, :] - centroids[None, :j, :]) ** 2).sum(-1),
+            axis=1,
+        )
+        total = d2.sum()
+        if total <= 0:
+            centroids[j:] = points[rng.integers(0, n, k - j)]
+            break
+        probs = d2 / total
+        centroids[j] = points[rng.choice(n, p=probs)]
+
+    labels = np.zeros(n, dtype=np.int64)
+    for _ in range(max_iter):
+        dist = ((points[:, None, :] - centroids[None, :, :]) ** 2).sum(-1)
+        new_labels = dist.argmin(axis=1)
+        if np.array_equal(new_labels, labels) and _ > 0:
+            break
+        labels = new_labels
+        for j in range(k):
+            members = points[labels == j]
+            if len(members):
+                centroids[j] = members.mean(axis=0)
+    return labels, centroids
+
+
+@dataclass(frozen=True)
+class LoadModes:
+    """Discovered host-load modes."""
+
+    machine_ids: np.ndarray
+    labels: np.ndarray
+    centroids: np.ndarray  # (k, num_features), in standardized units
+    centroids_raw: np.ndarray  # (k, num_features), in original units
+    feature_names: tuple[str, ...]
+
+    @property
+    def num_modes(self) -> int:
+        return self.centroids.shape[0]
+
+    def members(self, mode: int) -> np.ndarray:
+        """Machine ids belonging to one mode."""
+        return self.machine_ids[self.labels == mode]
+
+    def mode_sizes(self) -> np.ndarray:
+        return np.bincount(self.labels, minlength=self.num_modes)
+
+    def describe(self) -> list[dict[str, float]]:
+        """Per-mode raw-feature centroids as dicts (for reports)."""
+        out = []
+        for j in range(self.num_modes):
+            row = {"size": int(self.mode_sizes()[j])}
+            row.update(
+                {
+                    name: float(v)
+                    for name, v in zip(self.feature_names, self.centroids_raw[j])
+                }
+            )
+            out.append(row)
+        return out
+
+
+def discover_modes(
+    series: dict[int, MachineLoadSeries],
+    k: int = 4,
+    seed: int = 0,
+) -> LoadModes:
+    """Cluster a fleet's machines into ``k`` load modes.
+
+    Features are standardized (zero mean, unit variance) before
+    clustering so the mean levels and the temporal statistics weigh
+    comparably.
+    """
+    if not series:
+        raise ValueError("series is empty")
+    ids = np.asarray(sorted(series))
+    features = np.vstack([machine_features(series[int(i)]) for i in ids])
+    mu = features.mean(axis=0)
+    sd = features.std(axis=0)
+    sd[sd == 0] = 1.0
+    standardized = (features - mu) / sd
+    rng = np.random.default_rng(seed)
+    labels, centroids = kmeans(standardized, k, rng)
+    return LoadModes(
+        machine_ids=ids,
+        labels=labels,
+        centroids=centroids,
+        centroids_raw=centroids * sd + mu,
+        feature_names=FEATURE_NAMES,
+    )

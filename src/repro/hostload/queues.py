@@ -1,0 +1,145 @@
+"""Queue-state reconstruction from a task-event log (Figs. 8-9).
+
+A machine's queuing state is the number of tasks in each lifecycle
+state over time. The running count comes from SCHEDULE/terminal events
+on that machine; pending and completed counts are cluster-level (tasks
+wait in the scheduler, not on a machine).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.segments import QUEUE_STATE_LEVELS, level_durations
+from ..traces.schema import TaskEvent
+from ..traces.table import Table
+
+__all__ = ["QueueStateSeries", "machine_queue_state", "running_state_durations", "task_spans"]
+
+_TERMINAL = (
+    int(TaskEvent.EVICT),
+    int(TaskEvent.FAIL),
+    int(TaskEvent.FINISH),
+    int(TaskEvent.KILL),
+    int(TaskEvent.LOST),
+)
+_ABNORMAL = (
+    int(TaskEvent.EVICT),
+    int(TaskEvent.FAIL),
+    int(TaskEvent.KILL),
+    int(TaskEvent.LOST),
+)
+
+
+@dataclass(frozen=True)
+class QueueStateSeries:
+    """Step-function counts of task states on one machine.
+
+    ``times`` are event timestamps; each count array holds the value
+    *after* the event at the same index (right-continuous steps).
+    """
+
+    machine_id: int
+    times: np.ndarray
+    running: np.ndarray
+    finished: np.ndarray
+    abnormal: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def sample(self, sample_times: np.ndarray, which: str = "running") -> np.ndarray:
+        """Evaluate a count at arbitrary times (piecewise-constant)."""
+        series = {
+            "running": self.running,
+            "finished": self.finished,
+            "abnormal": self.abnormal,
+        }[which]
+        sample_times = np.asarray(sample_times, dtype=np.float64)
+        idx = np.searchsorted(self.times, sample_times, side="right") - 1
+        out = np.where(idx >= 0, series[np.maximum(idx, 0)], 0)
+        return out.astype(np.int64)
+
+
+def machine_queue_state(task_events: Table, machine_id: int) -> QueueStateSeries:
+    """Reconstruct running/finished/abnormal counts for one machine."""
+    mask = task_events["machine_id"] == machine_id
+    sub = task_events.select(mask).sort_by("time")
+    if len(sub) == 0:
+        raise KeyError(f"machine {machine_id} has no events")
+    etype = sub["event_type"]
+    delta_run = np.zeros(len(sub), dtype=np.int64)
+    delta_run[etype == int(TaskEvent.SCHEDULE)] = 1
+    delta_run[np.isin(etype, _TERMINAL)] = -1
+    inc_fin = np.isin(etype, _TERMINAL).astype(np.int64)
+    inc_abn = np.isin(etype, _ABNORMAL).astype(np.int64)
+    return QueueStateSeries(
+        machine_id=machine_id,
+        times=np.asarray(sub["time"]),
+        running=np.cumsum(delta_run),
+        finished=np.cumsum(inc_fin),
+        abnormal=np.cumsum(inc_abn),
+    )
+
+
+def running_state_durations(
+    running_counts: np.ndarray,
+    times: np.ndarray,
+    edges: np.ndarray = QUEUE_STATE_LEVELS,
+) -> dict[int, np.ndarray]:
+    """Durations of unchanged running-queue interval (Fig. 9).
+
+    ``running_counts`` sampled at ``times`` are discretized into the
+    paper's intervals ([0,9], [10,19], ...) and the run lengths of each
+    interval are returned, keyed by interval index.
+    """
+    return level_durations(times, np.asarray(running_counts, dtype=np.float64), edges)
+
+
+def task_spans(task_events: Table, machine_id: int) -> Table:
+    """(start, end, outcome) of each execution on a machine (Fig. 8a).
+
+    Pairs each SCHEDULE with the next terminal event of the same task
+    lineage. Executions still alive at the end of the log get ``end``
+    = last event time and outcome = -1.
+    """
+    sub = task_events.select(task_events["machine_id"] == machine_id).sort_by("time")
+    if len(sub) == 0:
+        raise KeyError(f"machine {machine_id} has no events")
+    etype = sub["event_type"]
+    times = sub["time"]
+    width = int(sub["task_index"].max()) + 1
+    key = sub["job_id"] * width + sub["task_index"]
+
+    starts: list[float] = []
+    ends: list[float] = []
+    outcome: list[int] = []
+    keys: list[int] = []
+    open_start: dict[int, float] = {}
+    last_time = float(times[-1])
+    terminal = set(_TERMINAL)
+    for t, e, k in zip(times, etype, key):
+        e = int(e)
+        k = int(k)
+        if e == int(TaskEvent.SCHEDULE):
+            open_start[k] = float(t)
+        elif e in terminal and k in open_start:
+            starts.append(open_start.pop(k))
+            ends.append(float(t))
+            outcome.append(e)
+            keys.append(k)
+    for k, s in open_start.items():
+        starts.append(s)
+        ends.append(last_time)
+        outcome.append(-1)
+        keys.append(k)
+    return Table(
+        {
+            "task_key": np.asarray(keys, dtype=np.int64),
+            "start": np.asarray(starts),
+            "end": np.asarray(ends),
+            "outcome": np.asarray(outcome, dtype=np.int8),
+        }
+    )

@@ -1,0 +1,83 @@
+"""Autoregressive host-load predictor.
+
+AR(p) fit by ordinary least squares over a sliding training window —
+the classical linear model for host-load prediction (cf. Dinda's work
+and the regression approach of Barnes et al. cited by the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .baselines import Predictor
+
+__all__ = ["AutoRegressive", "fit_ar_coefficients"]
+
+
+def fit_ar_coefficients(series: np.ndarray, order: int) -> np.ndarray:
+    """Least-squares AR coefficients ``[c, a_1..a_p]`` for a series.
+
+    ``x_t = c + sum_i a_i * x_{t-i}``; requires at least ``2 * order +
+    1`` samples so the normal equations are overdetermined.
+    """
+    series = np.asarray(series, dtype=np.float64)
+    if order < 1:
+        raise ValueError("order must be >= 1")
+    if series.size < 2 * order + 1:
+        raise ValueError(
+            f"need at least {2 * order + 1} samples to fit AR({order})"
+        )
+    n = series.size - order
+    design = np.empty((n, order + 1))
+    design[:, 0] = 1.0
+    for lag in range(1, order + 1):
+        design[:, lag] = series[order - lag : order - lag + n]
+    target = series[order:]
+    coeffs, *_ = np.linalg.lstsq(design, target, rcond=None)
+    return coeffs
+
+
+@dataclass(frozen=True)
+class AutoRegressive(Predictor):
+    """AR(p) one-step forecaster with periodic refitting.
+
+    The model is refit every ``refit_every`` samples on the most recent
+    ``train_window`` samples, imitating an online predictor.
+    """
+
+    order: int = 4
+    train_window: int = 288  # one day of 5-minute samples
+    refit_every: int = 48
+
+    def __post_init__(self) -> None:
+        if self.order < 1:
+            raise ValueError("order must be >= 1")
+        if self.train_window < 2 * self.order + 1:
+            raise ValueError("train_window too small for the AR order")
+        if self.refit_every < 1:
+            raise ValueError("refit_every must be >= 1")
+
+    @property
+    def min_history(self) -> int:  # type: ignore[override]
+        return 2 * self.order + 1
+
+    def predict(self, history: np.ndarray) -> float:
+        history = np.asarray(history, dtype=np.float64)
+        train = history[-self.train_window :]
+        coeffs = fit_ar_coefficients(train, self.order)
+        lags = history[-self.order :][::-1]
+        return float(coeffs[0] + np.dot(coeffs[1:], lags))
+
+    def predict_series(self, series: np.ndarray) -> np.ndarray:
+        series = np.asarray(series, dtype=np.float64)
+        out = np.full(series.size, np.nan)
+        coeffs: np.ndarray | None = None
+        for i in range(self.min_history, series.size):
+            if coeffs is None or (i - self.min_history) % self.refit_every == 0:
+                train = series[max(0, i - self.train_window) : i]
+                coeffs = fit_ar_coefficients(train, self.order)
+            lags = series[i - self.order : i][::-1]
+            out[i] = coeffs[0] + np.dot(coeffs[1:], lags)
+        return out

@@ -1,0 +1,115 @@
+"""Baseline host-load predictors.
+
+The paper's conclusion announces host-load prediction as future work
+and argues Cloud load is harder to predict than Grid load because of
+its noise. These predictors (last-value, moving average, EWMA) are the
+standard baselines that claim is evaluated against in
+:mod:`repro.prediction.evaluate`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Predictor", "LastValue", "MovingAverage", "EWMA"]
+
+
+class Predictor:
+    """One-step-ahead predictor over a sampled load series.
+
+    ``predict(history)`` returns the forecast for the next sample given
+    all samples so far. ``predict_series`` runs the walk-forward loop,
+    vectorized where the model allows.
+    """
+
+    #: Samples required before the first prediction.
+    min_history: int = 1
+
+    def predict(self, history: np.ndarray) -> float:
+        raise NotImplementedError
+
+    def predict_series(self, series: np.ndarray) -> np.ndarray:
+        """Forecast series[i] from series[:i] for every valid i.
+
+        Returns an array aligned with ``series``; entries before
+        ``min_history`` are NaN.
+        """
+        series = np.asarray(series, dtype=np.float64)
+        out = np.full(series.size, np.nan)
+        for i in range(self.min_history, series.size):
+            out[i] = self.predict(series[:i])
+        return out
+
+
+@dataclass(frozen=True)
+class LastValue(Predictor):
+    """Predict the previous sample (persistence / naive forecast)."""
+
+    min_history: int = 1
+
+    def predict(self, history: np.ndarray) -> float:
+        return float(history[-1])
+
+    def predict_series(self, series: np.ndarray) -> np.ndarray:
+        series = np.asarray(series, dtype=np.float64)
+        out = np.full(series.size, np.nan)
+        out[1:] = series[:-1]
+        return out
+
+
+@dataclass(frozen=True)
+class MovingAverage(Predictor):
+    """Mean of the last ``window`` samples."""
+
+    window: int = 12
+
+    def __post_init__(self) -> None:
+        if self.window < 1:
+            raise ValueError("window must be >= 1")
+
+    @property
+    def min_history(self) -> int:  # type: ignore[override]
+        return 1
+
+    def predict(self, history: np.ndarray) -> float:
+        w = min(self.window, history.size)
+        return float(history[-w:].mean())
+
+    def predict_series(self, series: np.ndarray) -> np.ndarray:
+        series = np.asarray(series, dtype=np.float64)
+        out = np.full(series.size, np.nan)
+        csum = np.concatenate(([0.0], np.cumsum(series)))
+        for i in range(1, series.size):
+            w = min(self.window, i)
+            out[i] = (csum[i] - csum[i - w]) / w
+        return out
+
+
+@dataclass(frozen=True)
+class EWMA(Predictor):
+    """Exponentially weighted moving average with smoothing ``alpha``."""
+
+    alpha: float = 0.3
+
+    def __post_init__(self) -> None:
+        if not 0 < self.alpha <= 1:
+            raise ValueError("alpha must be in (0, 1]")
+
+    def predict(self, history: np.ndarray) -> float:
+        level = float(history[0])
+        for x in history[1:]:
+            level = self.alpha * float(x) + (1 - self.alpha) * level
+        return level
+
+    def predict_series(self, series: np.ndarray) -> np.ndarray:
+        series = np.asarray(series, dtype=np.float64)
+        out = np.full(series.size, np.nan)
+        if series.size < 2:
+            return out
+        level = series[0]
+        for i in range(1, series.size):
+            out[i] = level
+            level = self.alpha * series[i] + (1 - self.alpha) * level
+        return out

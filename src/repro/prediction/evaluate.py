@@ -1,0 +1,80 @@
+"""Walk-forward evaluation of host-load predictors.
+
+Backtests one-step-ahead forecasts over a load series, reporting MSE /
+MAE, and compares predictability across systems — quantifying the
+paper's claim that Google host load is harder to predict than Grid
+load because of its noise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .baselines import Predictor
+
+__all__ = ["PredictionScore", "evaluate_predictor", "compare_predictors"]
+
+
+@dataclass(frozen=True)
+class PredictionScore:
+    """Error metrics of one predictor on one series."""
+
+    predictor: str
+    mse: float
+    mae: float
+    num_predictions: int
+
+    @property
+    def rmse(self) -> float:
+        return float(np.sqrt(self.mse))
+
+
+def evaluate_predictor(
+    predictor: Predictor,
+    series: np.ndarray,
+    name: str | None = None,
+    horizon: int = 1,
+) -> PredictionScore:
+    """Walk-forward evaluation over the whole series.
+
+    ``horizon`` > 1 scores the same one-step forecast against the value
+    ``horizon`` samples ahead (flat multi-step extension) — the paper's
+    volatile Cloud load degrades far faster with horizon than stable
+    Grid load.
+    """
+    if horizon < 1:
+        raise ValueError("horizon must be >= 1")
+    series = np.asarray(series, dtype=np.float64)
+    if series.size < predictor.min_history + horizon:
+        raise ValueError("series too short for this predictor")
+    forecasts = predictor.predict_series(series)
+    if horizon > 1:
+        forecasts = forecasts[: -(horizon - 1)]
+        targets = series[horizon - 1 :]
+    else:
+        targets = series
+    mask = ~np.isnan(forecasts)
+    if not mask.any():
+        raise ValueError("predictor produced no forecasts")
+    err = forecasts[mask] - targets[mask]
+    return PredictionScore(
+        predictor=name or type(predictor).__name__,
+        mse=float(np.mean(err**2)),
+        mae=float(np.mean(np.abs(err))),
+        num_predictions=int(mask.sum()),
+    )
+
+
+def compare_predictors(
+    predictors: dict[str, Predictor],
+    series: np.ndarray,
+    horizon: int = 1,
+) -> list[PredictionScore]:
+    """Score several predictors on one series, best (lowest MSE) first."""
+    scores = [
+        evaluate_predictor(p, series, name, horizon=horizon)
+        for name, p in predictors.items()
+    ]
+    return sorted(scores, key=lambda s: s.mse)

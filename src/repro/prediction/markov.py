@@ -1,0 +1,82 @@
+"""Markov-chain level predictor.
+
+Discretizes load into the paper's five usage levels and learns a
+first-order transition matrix — the discrete analogue of the HMM
+approach of Khan et al. cited in related work. Predicts the expected
+level midpoint of the next sample.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.segments import DEFAULT_USAGE_LEVELS, discretize
+from .baselines import Predictor
+
+__all__ = ["MarkovLevel", "transition_matrix"]
+
+
+def transition_matrix(levels: np.ndarray, n_levels: int) -> np.ndarray:
+    """Row-stochastic transition matrix estimated from a level series.
+
+    Rows with no observed transitions fall back to self-loops (the
+    level persists), keeping the matrix stochastic.
+    """
+    levels = np.asarray(levels, dtype=np.int64)
+    if levels.size and (levels.min() < 0 or levels.max() >= n_levels):
+        raise ValueError("level codes out of range")
+    matrix = np.zeros((n_levels, n_levels))
+    if levels.size >= 2:
+        np.add.at(matrix, (levels[:-1], levels[1:]), 1.0)
+    row_sums = matrix.sum(axis=1, keepdims=True)
+    out = np.where(row_sums > 0, matrix / np.where(row_sums == 0, 1, row_sums), 0.0)
+    empty = row_sums[:, 0] == 0
+    out[empty, :] = 0.0
+    out[empty, np.arange(n_levels)[empty]] = 1.0
+    return out
+
+
+@dataclass(frozen=True)
+class MarkovLevel(Predictor):
+    """First-order Markov predictor on discretized usage levels."""
+
+    edges: tuple[float, ...] = tuple(DEFAULT_USAGE_LEVELS)
+    train_window: int = 288
+
+    def __post_init__(self) -> None:
+        if len(self.edges) < 3:
+            raise ValueError("need at least two levels")
+        if self.train_window < 2:
+            raise ValueError("train_window must be >= 2")
+
+    @property
+    def min_history(self) -> int:  # type: ignore[override]
+        return 2
+
+    @property
+    def _edges_arr(self) -> np.ndarray:
+        return np.asarray(self.edges)
+
+    @property
+    def _midpoints(self) -> np.ndarray:
+        edges = self._edges_arr
+        return 0.5 * (edges[:-1] + edges[1:])
+
+    def predict(self, history: np.ndarray) -> float:
+        history = np.asarray(history, dtype=np.float64)
+        edges = self._edges_arr
+        train = np.clip(history[-self.train_window :], edges[0], edges[-1])
+        levels = discretize(train, edges)
+        n_levels = len(edges) - 1
+        matrix = transition_matrix(levels, n_levels)
+        current = levels[-1]
+        return float(np.dot(matrix[current], self._midpoints))
+
+    def predict_series(self, series: np.ndarray) -> np.ndarray:
+        series = np.asarray(series, dtype=np.float64)
+        out = np.full(series.size, np.nan)
+        for i in range(self.min_history, series.size):
+            out[i] = self.predict(series[:i])
+        return out

@@ -1,0 +1,140 @@
+"""Task placement constraints over machine attributes.
+
+Section IV.B of the paper notes (citing Sharma et al.) that Cloud
+tasks' placement constraints — machine-attribute requirements tuned by
+users — significantly impact resource utilization. This module models
+them: machines carry a small numeric attribute vector (architecture,
+kernel version, disk type, ...), tasks carry comparison constraints
+over those attributes, and the scheduler only places a task on
+machines satisfying all of its constraints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "Constraint",
+    "ConstraintModel",
+    "generate_attribute_matrix",
+    "OPS",
+]
+
+#: Supported comparison operators.
+OPS = ("eq", "ne", "ge", "le")
+
+
+@dataclass(frozen=True)
+class Constraint:
+    """One machine-attribute requirement: ``attr <op> value``."""
+
+    attribute: int
+    op: str
+    value: float
+
+    def __post_init__(self) -> None:
+        if self.op not in OPS:
+            raise ValueError(f"op must be one of {OPS}, got {self.op!r}")
+        if self.attribute < 0:
+            raise ValueError("attribute index must be non-negative")
+
+    def satisfied_by(self, attributes: np.ndarray) -> np.ndarray:
+        """Boolean mask over machines (rows of the attribute matrix)."""
+        column = attributes[:, self.attribute]
+        if self.op == "eq":
+            return column == self.value
+        if self.op == "ne":
+            return column != self.value
+        if self.op == "ge":
+            return column >= self.value
+        return column <= self.value
+
+
+def generate_attribute_matrix(
+    num_machines: int,
+    rng: np.random.Generator,
+    num_attributes: int = 4,
+    values_per_attribute: int = 3,
+) -> np.ndarray:
+    """Random categorical machine attributes (codes ``0..values-1``)."""
+    if num_machines < 1 or num_attributes < 1 or values_per_attribute < 2:
+        raise ValueError("need >=1 machine, >=1 attribute, >=2 values")
+    return rng.integers(
+        0, values_per_attribute, size=(num_machines, num_attributes)
+    ).astype(np.float64)
+
+
+class ConstraintModel:
+    """Machine attributes + a per-task constraint sampler.
+
+    Parameters
+    ----------
+    attributes:
+        ``(num_machines, num_attributes)`` matrix of attribute values.
+    constraint_prob:
+        Probability that a task carries at least one constraint; the
+        trace analysis of Sharma et al. found a minority of tasks
+        constrained, so the default is modest.
+    max_constraints:
+        Upper bound on constraints per constrained task.
+    """
+
+    def __init__(
+        self,
+        attributes: np.ndarray,
+        constraint_prob: float = 0.2,
+        max_constraints: int = 2,
+    ) -> None:
+        attributes = np.asarray(attributes, dtype=np.float64)
+        if attributes.ndim != 2 or attributes.shape[0] < 1:
+            raise ValueError("attributes must be a (machines, attrs) matrix")
+        if not 0 <= constraint_prob <= 1:
+            raise ValueError("constraint_prob must be a probability")
+        if max_constraints < 1:
+            raise ValueError("max_constraints must be >= 1")
+        self.attributes = attributes
+        self.constraint_prob = constraint_prob
+        self.max_constraints = max_constraints
+
+    @property
+    def num_machines(self) -> int:
+        return self.attributes.shape[0]
+
+    @property
+    def num_attributes(self) -> int:
+        return self.attributes.shape[1]
+
+    def sample_constraints(
+        self, rng: np.random.Generator
+    ) -> tuple[Constraint, ...]:
+        """Draw one task's constraints (possibly empty).
+
+        Values are drawn from the attribute's actually-present values,
+        so equality constraints are always satisfiable by someone.
+        """
+        if rng.uniform() >= self.constraint_prob:
+            return ()
+        count = int(rng.integers(1, self.max_constraints + 1))
+        constraints = []
+        for _ in range(count):
+            attr = int(rng.integers(0, self.num_attributes))
+            value = float(rng.choice(self.attributes[:, attr]))
+            op = str(rng.choice(["eq", "ne", "ge", "le"]))
+            constraints.append(Constraint(attr, op, value))
+        return tuple(constraints)
+
+    def satisfying_mask(
+        self, constraints: tuple[Constraint, ...]
+    ) -> np.ndarray:
+        """Machines satisfying *all* constraints (all-True when none)."""
+        mask = np.ones(self.num_machines, dtype=bool)
+        for constraint in constraints:
+            if constraint.attribute >= self.num_attributes:
+                raise ValueError(
+                    f"constraint references attribute {constraint.attribute} "
+                    f"but only {self.num_attributes} exist"
+                )
+            mask &= constraint.satisfied_by(self.attributes)
+        return mask

@@ -1,0 +1,52 @@
+"""Event-driven simulation core.
+
+A minimal, allocation-light event queue: entries are ``(time, seq,
+kind, payload)`` tuples on a binary heap. Cancellation uses lazy
+invalidation — callers attach an incarnation counter to their payloads
+and drop stale pops — which keeps the hot loop free of bookkeeping.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any
+
+__all__ = ["EventQueue"]
+
+
+class EventQueue:
+    """Time-ordered event queue with a stable tie-break sequence."""
+
+    __slots__ = ("_heap", "_seq", "_time")
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, int, Any]] = []
+        self._seq = 0
+        self._time = 0.0
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    @property
+    def now(self) -> float:
+        """Timestamp of the most recently popped event."""
+        return self._time
+
+    def push(self, time: float, kind: int, payload: Any = None) -> None:
+        """Schedule an event. Events at equal times pop in push order."""
+        if time < self._time:
+            raise ValueError(
+                f"cannot schedule into the past: {time} < now={self._time}"
+            )
+        heapq.heappush(self._heap, (time, self._seq, kind, payload))
+        self._seq += 1
+
+    def pop(self) -> tuple[float, int, Any]:
+        """Pop the earliest event; advances :attr:`now`."""
+        time, _seq, kind, payload = heapq.heappop(self._heap)
+        self._time = time
+        return time, kind, payload
+
+    def peek_time(self) -> float | None:
+        """Time of the next event, or None when empty."""
+        return self._heap[0][0] if self._heap else None

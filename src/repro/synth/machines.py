@@ -1,0 +1,97 @@
+"""Heterogeneous machine-fleet generation (Fig. 7's capacity groups).
+
+The released Google trace normalizes capacities by the largest machine:
+CPU capacities take the values {0.25, 0.5, 1}, memory {0.25, 0.5, 0.75,
+1}, and page cache is uniform at 1. Group weights below follow the
+trace's dominant platforms (roughly half the fleet at 0.5 CPU).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..traces.schema import MACHINE_TABLE_SCHEMA
+from ..traces.table import Table
+
+__all__ = ["FleetConfig", "generate_machines", "DEFAULT_FLEET"]
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """Capacity levels and their machine-count weights."""
+
+    cpu_levels: tuple[float, ...] = (0.25, 0.5, 1.0)
+    cpu_weights: tuple[float, ...] = (0.31, 0.62, 0.07)
+    mem_levels: tuple[float, ...] = (0.25, 0.5, 0.75, 1.0)
+    mem_weights: tuple[float, ...] = (0.37, 0.49, 0.11, 0.03)
+    page_cache_levels: tuple[float, ...] = (1.0,)
+    page_cache_weights: tuple[float, ...] = (1.0,)
+    correlate_cpu_mem: bool = field(default=True)
+
+    def __post_init__(self) -> None:
+        for levels, weights, name in (
+            (self.cpu_levels, self.cpu_weights, "cpu"),
+            (self.mem_levels, self.mem_weights, "mem"),
+            (self.page_cache_levels, self.page_cache_weights, "page_cache"),
+        ):
+            if len(levels) != len(weights) or not levels:
+                raise ValueError(f"{name}: levels/weights mismatch")
+            if any(lv <= 0 or lv > 1 for lv in levels):
+                raise ValueError(f"{name}: levels must be in (0, 1]")
+            if any(w < 0 for w in weights) or abs(sum(weights) - 1) > 1e-9:
+                raise ValueError(f"{name}: weights must sum to 1")
+
+
+DEFAULT_FLEET = FleetConfig()
+
+
+def generate_machines(
+    num_machines: int,
+    rng: np.random.Generator,
+    config: FleetConfig = DEFAULT_FLEET,
+) -> Table:
+    """Generate a machine table with the configured capacity mix.
+
+    With ``correlate_cpu_mem`` (the default, matching the real fleet
+    where bigger CPUs come with more memory), the memory level is drawn
+    from weights tilted toward the machine's CPU rank.
+    """
+    if num_machines < 1:
+        raise ValueError("num_machines must be >= 1")
+    cpu_levels = np.asarray(config.cpu_levels)
+    cpu = rng.choice(cpu_levels, size=num_machines, p=config.cpu_weights)
+
+    mem_levels = np.asarray(config.mem_levels)
+    mem_weights = np.asarray(config.mem_weights, dtype=np.float64)
+    if config.correlate_cpu_mem and len(cpu_levels) > 1:
+        mem = np.empty(num_machines)
+        ranks = (cpu[:, None] == cpu_levels[None, :]).argmax(axis=1)
+        max_rank = len(cpu_levels) - 1
+        for rank in np.unique(ranks):
+            mask = ranks == rank
+            # Tilt the memory weights toward the same relative rank.
+            tilt = np.linspace(-1.0, 1.0, len(mem_levels)) * (
+                2.0 * rank / max_rank - 1.0
+            )
+            w = mem_weights * np.exp(tilt)
+            w /= w.sum()
+            mem[mask] = rng.choice(mem_levels, size=int(mask.sum()), p=w)
+    else:
+        mem = rng.choice(mem_levels, size=num_machines, p=mem_weights)
+
+    page = rng.choice(
+        np.asarray(config.page_cache_levels),
+        size=num_machines,
+        p=config.page_cache_weights,
+    )
+    return Table(
+        {
+            "machine_id": np.arange(num_machines, dtype=np.int64),
+            "cpu_capacity": cpu,
+            "mem_capacity": mem,
+            "page_cache_capacity": page,
+        },
+        schema=MACHINE_TABLE_SCHEMA,
+    )

@@ -1,0 +1,173 @@
+"""Google-cluster-style trace container.
+
+Bundles the four tables of the clusterdata-2011 release shape used by
+the paper — per-job summaries, the task-event log, the periodic
+task-usage samples, and the machine table — and provides the derived
+per-job/per-task quantities Section III of the paper analyzes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .schema import (
+    ABNORMAL_EVENTS,
+    JOB_TABLE_SCHEMA,
+    MACHINE_TABLE_SCHEMA,
+    TASK_EVENT_SCHEMA,
+    TASK_USAGE_SCHEMA,
+    TaskEvent,
+)
+from .table import Table
+
+__all__ = ["GoogleTrace", "task_lengths", "job_lengths", "completion_mix"]
+
+
+@dataclass(frozen=True)
+class GoogleTrace:
+    """One month-style trace of a Google-like cluster.
+
+    Attributes
+    ----------
+    jobs:
+        Per-job summary table (:data:`JOB_TABLE_SCHEMA`).
+    task_events:
+        Task state-transition log (:data:`TASK_EVENT_SCHEMA`).
+    task_usage:
+        Periodic usage samples (:data:`TASK_USAGE_SCHEMA`).
+    machines:
+        Machine capacity table (:data:`MACHINE_TABLE_SCHEMA`).
+    horizon:
+        Trace duration in seconds (measurements cover [0, horizon]).
+    """
+
+    jobs: Table
+    task_events: Table
+    task_usage: Table
+    machines: Table
+    horizon: float
+
+    def __post_init__(self) -> None:
+        _require_schema(self.jobs, JOB_TABLE_SCHEMA, "jobs")
+        _require_schema(self.task_events, TASK_EVENT_SCHEMA, "task_events")
+        _require_schema(self.task_usage, TASK_USAGE_SCHEMA, "task_usage")
+        _require_schema(self.machines, MACHINE_TABLE_SCHEMA, "machines")
+        if self.horizon <= 0:
+            raise ValueError("horizon must be positive")
+
+    # -- derived quantities --------------------------------------------------
+
+    @property
+    def num_jobs(self) -> int:
+        return len(self.jobs)
+
+    @property
+    def num_machines(self) -> int:
+        return len(self.machines)
+
+    @property
+    def num_tasks(self) -> int:
+        """Distinct (job, task) pairs appearing in the event log."""
+        ev = self.task_events
+        if len(ev) == 0:
+            return 0
+        pair = ev["job_id"].astype(np.int64) * (ev["task_index"].max() + 1) + ev[
+            "task_index"
+        ]
+        return int(np.unique(pair).size)
+
+    def events_of_type(self, event_type: TaskEvent) -> Table:
+        return self.task_events.select(
+            self.task_events["event_type"] == int(event_type)
+        )
+
+    def machine_events(self, machine_id: int) -> Table:
+        """All task events placed on one machine, time-ordered."""
+        sub = self.task_events.select(self.task_events["machine_id"] == machine_id)
+        return sub.sort_by("time")
+
+
+def _require_schema(table: Table, schema: dict, name: str) -> None:
+    if set(table.column_names) != set(schema):
+        raise ValueError(
+            f"{name} table columns {sorted(table.column_names)} do not match "
+            f"schema {sorted(schema)}"
+        )
+
+
+def task_lengths(trace: GoogleTrace) -> np.ndarray:
+    """Per-task execution time: SCHEDULE -> terminal event, vectorized.
+
+    For tasks scheduled multiple times (resubmission), each
+    schedule/terminal pair contributes one execution length, matching
+    the paper's treatment of task execution time.
+    """
+    ev = trace.task_events.sort_by("time")
+    etype = ev["event_type"]
+    times = ev["time"]
+    job = ev["job_id"]
+    task = ev["task_index"]
+    # Encode (job, task) into one key for grouping.
+    width = int(task.max()) + 1 if len(task) else 1
+    key = job * width + task
+
+    lengths: list[float] = []
+    terminal = np.isin(etype, [int(e) for e in TaskEvent if e in
+                               (TaskEvent.EVICT, TaskEvent.FAIL, TaskEvent.FINISH,
+                                TaskEvent.KILL, TaskEvent.LOST)])
+    is_sched = etype == int(TaskEvent.SCHEDULE)
+    # Group rows per task; within a group events are time-ordered.
+    order = np.argsort(key, kind="stable")
+    k_sorted = key[order]
+    bounds = np.flatnonzero(k_sorted[1:] != k_sorted[:-1]) + 1
+    starts = np.concatenate(([0], bounds))
+    ends = np.concatenate((bounds, [len(k_sorted)]))
+    t_sorted = times[order]
+    sched_sorted = is_sched[order]
+    term_sorted = terminal[order]
+    for s, e in zip(starts, ends):
+        seg_t = t_sorted[s:e]
+        seg_order = np.argsort(seg_t, kind="stable")
+        seg_t = seg_t[seg_order]
+        seg_sched = sched_sorted[s:e][seg_order]
+        seg_term = term_sorted[s:e][seg_order]
+        start_time = None
+        for t, sch, trm in zip(seg_t, seg_sched, seg_term):
+            if sch:
+                start_time = t
+            elif trm and start_time is not None:
+                lengths.append(t - start_time)
+                start_time = None
+    return np.asarray(lengths, dtype=np.float64)
+
+
+def job_lengths(trace: GoogleTrace) -> np.ndarray:
+    """Per-job length: submission to completion (Sec. III.2)."""
+    return np.asarray(trace.jobs["end_time"] - trace.jobs["submit_time"])
+
+
+def completion_mix(trace: GoogleTrace) -> dict[str, float]:
+    """Fractions of completion events per terminal type (Sec. IV.B.1).
+
+    Returns a mapping with keys ``finish``, ``fail``, ``kill``,
+    ``evict``, ``lost`` and ``abnormal`` (sum of the non-finish types),
+    each a fraction of all completion events.
+    """
+    etype = trace.task_events["event_type"]
+    counts = {
+        "finish": int(np.count_nonzero(etype == int(TaskEvent.FINISH))),
+        "fail": int(np.count_nonzero(etype == int(TaskEvent.FAIL))),
+        "kill": int(np.count_nonzero(etype == int(TaskEvent.KILL))),
+        "evict": int(np.count_nonzero(etype == int(TaskEvent.EVICT))),
+        "lost": int(np.count_nonzero(etype == int(TaskEvent.LOST))),
+    }
+    total = sum(counts.values())
+    if total == 0:
+        return {k: 0.0 for k in (*counts, "abnormal")}
+    mix = {k: v / total for k, v in counts.items()}
+    mix["abnormal"] = sum(
+        counts[k] for k in ("fail", "kill", "evict", "lost")
+    ) / total
+    return mix

@@ -1,0 +1,100 @@
+"""Generic CSV(.gz) round-trip for :class:`~repro.traces.table.Table`.
+
+The Google clusterdata release ships tables as gzipped CSV shards; this
+module provides the same serialization for any of our tables, plus a
+directory-level save/load for a whole :class:`GoogleTrace`.
+"""
+
+from __future__ import annotations
+
+import gzip
+import io
+import json
+from collections.abc import Mapping
+from pathlib import Path
+
+import numpy as np
+
+from .google import GoogleTrace
+from .schema import (
+    JOB_TABLE_SCHEMA,
+    MACHINE_TABLE_SCHEMA,
+    TASK_EVENT_SCHEMA,
+    TASK_USAGE_SCHEMA,
+)
+from .table import Table
+
+__all__ = ["write_csv", "read_csv", "save_trace", "load_trace"]
+
+
+def _open_text(path: Path, mode: str) -> io.TextIOBase:
+    if path.suffix == ".gz":
+        return gzip.open(path, mode + "t")  # type: ignore[return-value]
+    return open(path, mode)
+
+
+def write_csv(table: Table, path: str | Path) -> None:
+    """Write a table to CSV with a header row (gzip if path ends in .gz)."""
+    path = Path(path)
+    names = table.column_names
+    with _open_text(path, "w") as fh:
+        fh.write(",".join(names) + "\n")
+        columns = [table[name] for name in names]
+        for row in zip(*columns):
+            fh.write(",".join(_fmt(v) for v in row) + "\n")
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, (np.integer, int)):
+        return str(int(value))
+    f = float(value)  # type: ignore[arg-type]
+    return repr(f)
+
+
+def read_csv(
+    path: str | Path, schema: Mapping[str, np.dtype] | None = None
+) -> Table:
+    """Read a CSV written by :func:`write_csv`."""
+    path = Path(path)
+    with _open_text(path, "r") as fh:
+        header = fh.readline().strip()
+        if not header:
+            raise ValueError(f"{path} is empty")
+        names = header.split(",")
+        rows = [line.strip().split(",") for line in fh if line.strip()]
+    if rows:
+        data = np.asarray(rows, dtype=np.float64)
+    else:
+        data = np.empty((0, len(names)))
+    columns = {name: data[:, i] for i, name in enumerate(names)}
+    return Table(columns, schema=schema)
+
+
+_TRACE_FILES = {
+    "jobs": ("jobs.csv.gz", JOB_TABLE_SCHEMA),
+    "task_events": ("task_events.csv.gz", TASK_EVENT_SCHEMA),
+    "task_usage": ("task_usage.csv.gz", TASK_USAGE_SCHEMA),
+    "machines": ("machines.csv.gz", MACHINE_TABLE_SCHEMA),
+}
+
+
+def save_trace(trace: GoogleTrace, directory: str | Path) -> None:
+    """Persist a :class:`GoogleTrace` as gzipped CSV files + metadata."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    for attr, (filename, _schema) in _TRACE_FILES.items():
+        write_csv(getattr(trace, attr), directory / filename)
+    (directory / "meta.json").write_text(
+        json.dumps({"horizon": trace.horizon, "format": "repro-google-v1"})
+    )
+
+
+def load_trace(directory: str | Path) -> GoogleTrace:
+    """Load a trace saved by :func:`save_trace`."""
+    directory = Path(directory)
+    meta = json.loads((directory / "meta.json").read_text())
+    tables = {
+        attr: read_csv(directory / filename, schema=schema)
+        for attr, (filename, schema) in _TRACE_FILES.items()
+    }
+    return GoogleTrace(horizon=float(meta["horizon"]), **tables)

@@ -1,0 +1,198 @@
+"""Schemas and constants for cluster trace tables.
+
+The layout mirrors the public Google clusterdata-2011 trace format
+(job-events, task-events, task-usage, machine-events tables) plus the
+archive formats the paper compares against (GWA and SWF job records).
+All tables in this package are column-oriented: a mapping from column
+name to a 1-D NumPy array, wrapped by :class:`repro.traces.table.Table`.
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+__all__ = [
+    "TaskState",
+    "TaskEvent",
+    "PriorityBand",
+    "NUM_PRIORITIES",
+    "LOW_PRIORITIES",
+    "MIDDLE_PRIORITIES",
+    "HIGH_PRIORITIES",
+    "TERMINAL_EVENTS",
+    "ABNORMAL_EVENTS",
+    "JOB_TABLE_SCHEMA",
+    "TASK_EVENT_SCHEMA",
+    "TASK_USAGE_SCHEMA",
+    "MACHINE_TABLE_SCHEMA",
+    "GWA_JOB_SCHEMA",
+    "SWF_JOB_SCHEMA",
+    "priority_band",
+    "priority_band_array",
+]
+
+
+class TaskState(enum.IntEnum):
+    """Lifecycle states of a task (Fig. 1 of the paper).
+
+    ``UNSUBMITTED -> PENDING -> RUNNING -> DEAD`` with possible
+    resubmission from ``DEAD`` back to ``PENDING``.
+    """
+
+    UNSUBMITTED = 0
+    PENDING = 1
+    RUNNING = 2
+    DEAD = 3
+
+
+class TaskEvent(enum.IntEnum):
+    """Event types recorded in the task-event table.
+
+    The names match the clusterdata-2011 event vocabulary used in
+    Fig. 8(a) of the paper: SUBMIT, SCHEDULE, EVICT, FAIL, FINISH,
+    KILL, LOST, plus UPDATE for runtime constraint changes.
+    """
+
+    SUBMIT = 0
+    SCHEDULE = 1
+    EVICT = 2
+    FAIL = 3
+    FINISH = 4
+    KILL = 5
+    LOST = 6
+    UPDATE = 7
+
+
+class PriorityBand(enum.IntEnum):
+    """The three priority clusters the paper identifies (Sec. III.1)."""
+
+    LOW = 0  # priorities 1-4
+    MIDDLE = 1  # priorities 5-8
+    HIGH = 2  # priorities 9-12
+
+
+#: Number of distinct scheduling priorities in the Google model.
+NUM_PRIORITIES = 12
+
+#: Priority values (1-based, as in the paper's Fig. 2) per band.
+LOW_PRIORITIES = tuple(range(1, 5))
+MIDDLE_PRIORITIES = tuple(range(5, 9))
+HIGH_PRIORITIES = tuple(range(9, 13))
+
+#: Events that move a task into the DEAD state.
+TERMINAL_EVENTS = (
+    TaskEvent.EVICT,
+    TaskEvent.FAIL,
+    TaskEvent.FINISH,
+    TaskEvent.KILL,
+    TaskEvent.LOST,
+)
+
+#: Terminal events the paper counts as "abnormal" completions.
+ABNORMAL_EVENTS = (
+    TaskEvent.EVICT,
+    TaskEvent.FAIL,
+    TaskEvent.KILL,
+    TaskEvent.LOST,
+)
+
+
+def priority_band(priority: int) -> PriorityBand:
+    """Map a 1-based priority (1..12) to its band (low/middle/high)."""
+    if not 1 <= priority <= NUM_PRIORITIES:
+        raise ValueError(f"priority must be in 1..{NUM_PRIORITIES}, got {priority}")
+    if priority <= 4:
+        return PriorityBand.LOW
+    if priority <= 8:
+        return PriorityBand.MIDDLE
+    return PriorityBand.HIGH
+
+
+def priority_band_array(priorities: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`priority_band`: int array in 1..12 -> band codes."""
+    priorities = np.asarray(priorities)
+    if priorities.size and (priorities.min() < 1 or priorities.max() > NUM_PRIORITIES):
+        raise ValueError("priorities must be in 1..12")
+    bands = np.full(priorities.shape, PriorityBand.HIGH.value, dtype=np.int8)
+    bands[priorities <= 8] = PriorityBand.MIDDLE.value
+    bands[priorities <= 4] = PriorityBand.LOW.value
+    return bands
+
+
+# ---------------------------------------------------------------------------
+# Table schemas: mapping column name -> NumPy dtype.
+# ---------------------------------------------------------------------------
+
+#: Per-job summary table (one row per job).
+JOB_TABLE_SCHEMA: dict[str, np.dtype] = {
+    "job_id": np.dtype(np.int64),
+    "user_id": np.dtype(np.int64),
+    "submit_time": np.dtype(np.float64),  # seconds from trace start
+    "end_time": np.dtype(np.float64),  # completion of the last task
+    "priority": np.dtype(np.int16),  # 1..12
+    "num_tasks": np.dtype(np.int32),
+    "cpu_usage": np.dtype(np.float64),  # Eq. (4): core-seconds / wall-clock
+    "mem_usage": np.dtype(np.float64),  # mean normalized memory
+}
+
+#: Task event log (one row per state-transition event).
+TASK_EVENT_SCHEMA: dict[str, np.dtype] = {
+    "time": np.dtype(np.float64),
+    "job_id": np.dtype(np.int64),
+    "task_index": np.dtype(np.int32),
+    "machine_id": np.dtype(np.int64),  # -1 when not placed
+    "event_type": np.dtype(np.int8),  # TaskEvent
+    "priority": np.dtype(np.int16),
+    "cpu_request": np.dtype(np.float64),  # normalized cores
+    "mem_request": np.dtype(np.float64),  # normalized memory
+}
+
+#: 5-minute usage samples (one row per task per sample window).
+TASK_USAGE_SCHEMA: dict[str, np.dtype] = {
+    "start_time": np.dtype(np.float64),
+    "end_time": np.dtype(np.float64),
+    "job_id": np.dtype(np.int64),
+    "task_index": np.dtype(np.int32),
+    "machine_id": np.dtype(np.int64),
+    "priority": np.dtype(np.int16),
+    "cpu_usage": np.dtype(np.float64),  # normalized core-seconds/second
+    "mem_usage": np.dtype(np.float64),  # consumed memory, normalized
+    "mem_assigned": np.dtype(np.float64),  # allocated memory, normalized
+    "page_cache": np.dtype(np.float64),  # file-backed memory, normalized
+}
+
+#: Machine table (one row per machine).
+MACHINE_TABLE_SCHEMA: dict[str, np.dtype] = {
+    "machine_id": np.dtype(np.int64),
+    "cpu_capacity": np.dtype(np.float64),  # normalized: {0.25, 0.5, 1}
+    "mem_capacity": np.dtype(np.float64),  # normalized: {0.25, 0.5, 0.75, 1}
+    "page_cache_capacity": np.dtype(np.float64),  # normalized: {1}
+}
+
+#: Grid Workloads Archive job record (the subset the paper uses).
+GWA_JOB_SCHEMA: dict[str, np.dtype] = {
+    "job_id": np.dtype(np.int64),
+    "submit_time": np.dtype(np.float64),
+    "wait_time": np.dtype(np.float64),
+    "run_time": np.dtype(np.float64),
+    "num_procs": np.dtype(np.int32),
+    "avg_cpu_time": np.dtype(np.float64),  # per-processor CPU seconds
+    "used_memory": np.dtype(np.float64),  # KB, mean per job
+    "user_id": np.dtype(np.int64),
+    "status": np.dtype(np.int8),  # 1 completed, 0 failed
+}
+
+#: Standard Workload Format (PWA) job record (the subset the paper uses).
+SWF_JOB_SCHEMA: dict[str, np.dtype] = {
+    "job_id": np.dtype(np.int64),
+    "submit_time": np.dtype(np.float64),
+    "wait_time": np.dtype(np.float64),
+    "run_time": np.dtype(np.float64),
+    "num_procs": np.dtype(np.int32),
+    "avg_cpu_time": np.dtype(np.float64),
+    "used_memory": np.dtype(np.float64),
+    "user_id": np.dtype(np.int64),
+    "status": np.dtype(np.int8),
+}

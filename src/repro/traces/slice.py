@@ -1,0 +1,142 @@
+"""Trace slicing and downsampling utilities.
+
+Working with a month-long trace usually starts by cutting it down: a
+time window (the paper's Fig. 13 looks at days [10,15] and [10,11]), a
+machine subset, or coarser usage sampling. These helpers produce new,
+self-consistent :class:`~repro.traces.google.GoogleTrace` objects.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from .google import GoogleTrace
+from .table import Table
+
+__all__ = ["slice_time", "select_machines", "downsample_usage"]
+
+
+def slice_time(trace: GoogleTrace, start: float, end: float) -> GoogleTrace:
+    """Restrict a trace to events/usage inside ``[start, end)``.
+
+    Timestamps are rebased to the window start, so the sliced trace
+    again runs over ``[0, end - start)``. Jobs are kept when their
+    lifetime intersects the window, with their times clipped.
+    """
+    if not 0 <= start < end <= trace.horizon:
+        raise ValueError("require 0 <= start < end <= horizon")
+    width = end - start
+
+    jobs = trace.jobs
+    alive = (jobs["end_time"] > start) & (jobs["submit_time"] < end)
+    jobs = jobs.select(alive)
+    jobs = jobs.with_columns(
+        submit_time=np.clip(jobs["submit_time"] - start, 0.0, width),
+        end_time=np.clip(jobs["end_time"] - start, 0.0, width),
+    )
+
+    ev = trace.task_events
+    in_window = (ev["time"] >= start) & (ev["time"] < end)
+    ev = ev.select(in_window)
+    ev = ev.with_columns(time=ev["time"] - start)
+
+    us = trace.task_usage
+    overlap = (us["end_time"] > start) & (us["start_time"] < end)
+    us = us.select(overlap)
+    us = us.with_columns(
+        start_time=np.clip(us["start_time"] - start, 0.0, width),
+        end_time=np.clip(us["end_time"] - start, 0.0, width),
+    )
+
+    return dataclasses.replace(
+        trace, jobs=jobs, task_events=ev, task_usage=us, horizon=width
+    )
+
+
+def select_machines(trace: GoogleTrace, machine_ids) -> GoogleTrace:
+    """Keep only the given machines' events/usage (plus unplaced events).
+
+    Jobs are retained untouched — a job may still have tasks on other
+    machines; the per-machine analyses only consume events and usage.
+    """
+    machine_ids = np.asarray(list(machine_ids), dtype=np.int64)
+    if machine_ids.size == 0:
+        raise ValueError("machine_ids must be non-empty")
+    known = np.asarray(trace.machines["machine_id"])
+    missing = set(machine_ids.tolist()) - set(known.tolist())
+    if missing:
+        raise KeyError(f"unknown machines: {sorted(missing)}")
+
+    machines = trace.machines.select(np.isin(known, machine_ids))
+    ev = trace.task_events
+    keep_ev = np.isin(ev["machine_id"], machine_ids) | (ev["machine_id"] == -1)
+    us = trace.task_usage
+    keep_us = np.isin(us["machine_id"], machine_ids)
+    return dataclasses.replace(
+        trace,
+        task_events=ev.select(keep_ev),
+        task_usage=us.select(keep_us),
+        machines=machines,
+    )
+
+
+def downsample_usage(trace: GoogleTrace, factor: int) -> GoogleTrace:
+    """Merge consecutive usage windows of each task, ``factor`` at a time.
+
+    Usage values are averaged weighted by window length; the merged
+    window spans the originals. Event and job tables are unchanged.
+    """
+    if factor < 1:
+        raise ValueError("factor must be >= 1")
+    if factor == 1 or len(trace.task_usage) == 0:
+        return trace
+    us = trace.task_usage.sort_by("job_id", "task_index", "start_time")
+    job = np.asarray(us["job_id"])
+    task = np.asarray(us["task_index"])
+    width = int(task.max()) + 1 if len(task) else 1
+    key = job * width + task
+    # Row index within its task's run of windows.
+    boundaries = np.flatnonzero(key[1:] != key[:-1]) + 1
+    starts = np.concatenate(([0], boundaries))
+    run_id = np.cumsum(np.isin(np.arange(len(key)), starts))
+    within = np.arange(len(key)) - starts[run_id - 1]
+    group = run_id * 10**9 + within // factor
+
+    order = np.argsort(group, kind="stable")
+    group_sorted = group[order]
+    gb = np.flatnonzero(group_sorted[1:] != group_sorted[:-1]) + 1
+    g_starts = np.concatenate(([0], gb))
+
+    length = (np.asarray(us["end_time"]) - np.asarray(us["start_time"]))[order]
+    total_len = np.add.reduceat(length, g_starts)
+
+    def agg_weighted(name: str) -> np.ndarray:
+        values = np.asarray(us[name])[order]
+        return np.add.reduceat(values * length, g_starts) / np.maximum(
+            total_len, 1e-12
+        )
+
+    def first(name: str) -> np.ndarray:
+        return np.asarray(us[name])[order][g_starts]
+
+    merged = Table(
+        {
+            "start_time": np.minimum.reduceat(
+                np.asarray(us["start_time"])[order], g_starts
+            ),
+            "end_time": np.maximum.reduceat(
+                np.asarray(us["end_time"])[order], g_starts
+            ),
+            "job_id": first("job_id"),
+            "task_index": first("task_index"),
+            "machine_id": first("machine_id"),
+            "priority": first("priority"),
+            "cpu_usage": agg_weighted("cpu_usage"),
+            "mem_usage": agg_weighted("mem_usage"),
+            "mem_assigned": agg_weighted("mem_assigned"),
+            "page_cache": agg_weighted("page_cache"),
+        }
+    )
+    return dataclasses.replace(trace, task_usage=merged)

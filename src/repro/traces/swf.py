@@ -1,0 +1,127 @@
+"""Standard Workload Format (SWF) of the Parallel Workloads Archive.
+
+The paper's HPC comparisons (ANL, RICC, METACENTRUM, LLNL-Atlas) come
+from PWA traces in SWF. SWF stores 18 whitespace-separated fields per
+job line; ``-1`` means missing and header lines start with ``;``. We
+parse the full 18-field line but expose only the subset the paper's
+analyses use (:data:`repro.traces.schema.SWF_JOB_SCHEMA`).
+"""
+
+from __future__ import annotations
+
+import gzip
+import io
+from pathlib import Path
+
+import numpy as np
+
+from .schema import SWF_JOB_SCHEMA
+from .table import Table
+
+__all__ = ["read_swf", "write_swf", "swf_table"]
+
+# SWF field indices (0-based) in the 18-field standard line.
+_SWF_JOB_ID = 0
+_SWF_SUBMIT = 1
+_SWF_WAIT = 2
+_SWF_RUNTIME = 3
+_SWF_NPROCS = 4
+_SWF_AVG_CPU = 5
+_SWF_MEMORY = 6
+_SWF_STATUS = 10
+_SWF_USER = 11
+_SWF_NFIELDS = 18
+
+
+def swf_table(**columns: np.ndarray) -> Table:
+    """Build a schema-checked SWF job table from keyword columns."""
+    n = None
+    for values in columns.values():
+        n = len(np.asarray(values))
+        break
+    if n is None:
+        raise ValueError("at least one column is required")
+    full = {}
+    for name in SWF_JOB_SCHEMA:
+        if name in columns:
+            full[name] = np.asarray(columns[name])
+        elif name == "job_id":
+            full[name] = np.arange(1, n + 1, dtype=np.int64)
+        elif name == "status":
+            full[name] = np.ones(n, dtype=np.int8)
+        else:
+            full[name] = np.full(n, -1.0)
+    unknown = set(columns) - set(SWF_JOB_SCHEMA)
+    if unknown:
+        raise ValueError(f"unknown SWF columns: {sorted(unknown)}")
+    return Table(full, schema=SWF_JOB_SCHEMA)
+
+
+def _open_text(path: Path, mode: str) -> io.TextIOBase:
+    if path.suffix == ".gz":
+        return gzip.open(path, mode + "t")  # type: ignore[return-value]
+    return open(path, mode)
+
+
+def write_swf(table: Table, path: str | Path, header: str | None = None) -> None:
+    """Write an SWF file (full 18-field lines; unknown fields are -1)."""
+    path = Path(path)
+    if set(table.column_names) != set(SWF_JOB_SCHEMA):
+        raise ValueError("table does not match the SWF schema")
+    with _open_text(path, "w") as fh:
+        fh.write("; SWF trace written by repro\n")
+        if header:
+            for line in header.splitlines():
+                fh.write(f"; {line}\n")
+        n = table.num_rows
+        fields = np.full((n, _SWF_NFIELDS), -1.0)
+        fields[:, _SWF_JOB_ID] = table["job_id"]
+        fields[:, _SWF_SUBMIT] = table["submit_time"]
+        fields[:, _SWF_WAIT] = table["wait_time"]
+        fields[:, _SWF_RUNTIME] = table["run_time"]
+        fields[:, _SWF_NPROCS] = table["num_procs"]
+        fields[:, _SWF_AVG_CPU] = table["avg_cpu_time"]
+        fields[:, _SWF_MEMORY] = table["used_memory"]
+        fields[:, _SWF_STATUS] = table["status"]
+        fields[:, _SWF_USER] = table["user_id"]
+        for row in fields:
+            fh.write(" ".join(_fmt(v) for v in row) + "\n")
+
+
+def _fmt(value: float) -> str:
+    if value == int(value):
+        return str(int(value))
+    return repr(float(value))
+
+
+def read_swf(path: str | Path) -> Table:
+    """Read an SWF file into the paper's job-record subset."""
+    path = Path(path)
+    rows: list[list[float]] = []
+    with _open_text(path, "r") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line or line.startswith(";") or line.startswith("#"):
+                continue
+            parts = line.split()
+            if len(parts) < _SWF_NFIELDS:
+                raise ValueError(
+                    f"SWF line has {len(parts)} fields, expected "
+                    f"{_SWF_NFIELDS}: {line[:80]!r}"
+                )
+            rows.append([float(p) for p in parts[:_SWF_NFIELDS]])
+    data = np.asarray(rows) if rows else np.empty((0, _SWF_NFIELDS))
+    return Table(
+        {
+            "job_id": data[:, _SWF_JOB_ID],
+            "submit_time": data[:, _SWF_SUBMIT],
+            "wait_time": data[:, _SWF_WAIT],
+            "run_time": data[:, _SWF_RUNTIME],
+            "num_procs": data[:, _SWF_NPROCS],
+            "avg_cpu_time": data[:, _SWF_AVG_CPU],
+            "used_memory": data[:, _SWF_MEMORY],
+            "user_id": data[:, _SWF_USER],
+            "status": data[:, _SWF_STATUS],
+        },
+        schema=SWF_JOB_SCHEMA,
+    )

@@ -1,0 +1,158 @@
+"""Trace invariant checks.
+
+Catches generator and simulator bugs early: every table and the
+cross-table relations have to satisfy the structural rules the paper's
+trace format implies (times within the horizon, normalized usage in
+[0, 1], legal event sequences per task, priorities in 1..12, ...).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .google import GoogleTrace
+from .schema import NUM_PRIORITIES, TaskEvent
+from .table import Table
+
+__all__ = ["ValidationError", "validate_trace", "validate_job_table"]
+
+
+class ValidationError(ValueError):
+    """A trace violated a structural invariant."""
+
+
+def _check(condition: bool, message: str) -> None:
+    if not condition:
+        raise ValidationError(message)
+
+
+def validate_job_table(jobs: Table) -> None:
+    """Invariants of a per-job summary table (Google or converted grid)."""
+    _check(bool(np.all(jobs["submit_time"] >= 0)), "negative submit_time")
+    _check(
+        bool(np.all(jobs["end_time"] >= jobs["submit_time"])),
+        "end_time precedes submit_time",
+    )
+    _check(bool(np.all(jobs["num_tasks"] >= 1)), "job with zero tasks")
+    pr = jobs["priority"]
+    _check(
+        bool(np.all((pr >= 1) & (pr <= NUM_PRIORITIES))),
+        "priority outside 1..12",
+    )
+    _check(bool(np.all(jobs["cpu_usage"] >= 0)), "negative cpu_usage")
+    _check(bool(np.all(jobs["mem_usage"] >= 0)), "negative mem_usage")
+    _check(
+        len(np.unique(jobs["job_id"])) == len(jobs),
+        "duplicate job_id in job table",
+    )
+
+
+def validate_trace(trace: GoogleTrace, check_event_order: bool = True) -> None:
+    """Validate a full :class:`GoogleTrace`.
+
+    Parameters
+    ----------
+    check_event_order:
+        Also verify the per-task event sequence is legal (SUBMIT before
+        SCHEDULE before a terminal event). This is O(n log n) in the
+        number of events; disable for very large traces.
+    """
+    validate_job_table(trace.jobs)
+
+    ev = trace.task_events
+    _check(bool(np.all(ev["time"] >= 0)), "negative event time")
+    _check(
+        bool(np.all(ev["time"] <= trace.horizon * (1 + 1e-9))),
+        "event beyond horizon",
+    )
+    _check(
+        bool(np.all((ev["priority"] >= 1) & (ev["priority"] <= NUM_PRIORITIES))),
+        "event priority outside 1..12",
+    )
+    _check(bool(np.all(ev["cpu_request"] >= 0)), "negative cpu_request")
+    _check(bool(np.all(ev["mem_request"] >= 0)), "negative mem_request")
+    valid_types = {int(e) for e in TaskEvent}
+    _check(
+        set(np.unique(ev["event_type"]).tolist()) <= valid_types,
+        "unknown event type",
+    )
+    # SCHEDULE events must name a machine; SUBMIT events must not.
+    sched = ev.select(ev["event_type"] == int(TaskEvent.SCHEDULE))
+    _check(
+        bool(np.all(sched["machine_id"] >= 0)),
+        "SCHEDULE event without a machine",
+    )
+    submit = ev.select(ev["event_type"] == int(TaskEvent.SUBMIT))
+    _check(
+        bool(np.all(submit["machine_id"] == -1)),
+        "SUBMIT event with a machine assignment",
+    )
+    # Jobs referenced by events must exist.
+    _check(
+        bool(np.isin(ev["job_id"], trace.jobs["job_id"]).all()),
+        "task event references unknown job",
+    )
+
+    us = trace.task_usage
+    _check(
+        bool(np.all(us["end_time"] > us["start_time"])),
+        "usage window with non-positive length",
+    )
+    for col in ("cpu_usage", "mem_usage", "mem_assigned", "page_cache"):
+        _check(bool(np.all(us[col] >= 0)), f"negative {col}")
+        _check(
+            bool(np.all(us[col] <= 1 + 1e-9)),
+            f"{col} above normalized capacity 1",
+        )
+    _check(
+        bool(np.isin(us["machine_id"], trace.machines["machine_id"]).all()),
+        "usage sample references unknown machine",
+    )
+
+    mc = trace.machines
+    _check(
+        len(np.unique(mc["machine_id"])) == len(mc),
+        "duplicate machine_id",
+    )
+    for col in ("cpu_capacity", "mem_capacity", "page_cache_capacity"):
+        _check(bool(np.all(mc[col] > 0)), f"non-positive {col}")
+        _check(bool(np.all(mc[col] <= 1 + 1e-9)), f"{col} above 1")
+
+    if check_event_order and len(ev):
+        _validate_event_order(ev)
+
+
+def _validate_event_order(ev: Table) -> None:
+    """Check the SUBMIT -> SCHEDULE -> terminal ordering per task."""
+    etype = ev["event_type"]
+    times = ev["time"]
+    width = int(ev["task_index"].max()) + 1
+    key = ev["job_id"] * width + ev["task_index"]
+    order = np.lexsort((times, key))
+    k = key[order]
+    e = etype[order]
+    bounds = np.flatnonzero(k[1:] != k[:-1]) + 1
+    starts = np.concatenate(([0], bounds))
+    ends = np.concatenate((bounds, [len(k)]))
+    terminal = {
+        int(TaskEvent.EVICT),
+        int(TaskEvent.FAIL),
+        int(TaskEvent.FINISH),
+        int(TaskEvent.KILL),
+        int(TaskEvent.LOST),
+    }
+    for s, t in zip(starts, ends):
+        state = "dead"  # before first SUBMIT nothing has happened
+        for code in e[s:t]:
+            code = int(code)
+            if code == int(TaskEvent.SUBMIT):
+                _check(state == "dead", "SUBMIT while task is alive")
+                state = "pending"
+            elif code == int(TaskEvent.SCHEDULE):
+                _check(state == "pending", "SCHEDULE without pending task")
+                state = "running"
+            elif code in terminal:
+                _check(state == "running", "terminal event without running task")
+                state = "dead"
+            elif code == int(TaskEvent.UPDATE):
+                _check(state != "dead", "UPDATE on a dead task")

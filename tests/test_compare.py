@@ -1,0 +1,54 @@
+"""Unit tests for the high-level Cloud-vs-Grid comparison API."""
+
+import numpy as np
+import pytest
+
+from repro.core.compare import compare_systems
+from repro.synth.presets import DAY
+
+
+@pytest.fixture(scope="module")
+def comparison(small_workload_module):
+    data = small_workload_module
+    return compare_systems(
+        data.google_jobs,
+        {"AuverGrid": data.grid_jobs["AuverGrid"],
+         "SHARCNET": data.grid_jobs["SHARCNET"]},
+        horizon=data.horizon,
+    )
+
+
+@pytest.fixture(scope="module")
+def small_workload_module():
+    from repro.experiments.datasets import workload_dataset
+
+    return workload_dataset("small", seed=0)
+
+
+class TestCompareSystems:
+    def test_headline_findings(self, comparison):
+        headline = comparison.headline()
+        assert headline["cloud_submits_faster"] is True
+        assert headline["cloud_more_stable_submission"] is True
+        assert headline["cloud_jobs_shorter"] is True
+
+    def test_system_workload_fields(self, comparison):
+        cloud = comparison.cloud
+        assert cloud.name == "Google"
+        assert cloud.submission.avg_per_hour > 100
+        assert cloud.mean_job_length > 0
+        assert cloud.mean_tasks_per_job >= 1
+        assert 0 <= cloud.job_length_cdf(1000.0) <= 1
+
+    def test_grid_names_preserved(self, comparison):
+        assert set(comparison.grids) == {"AuverGrid", "SHARCNET"}
+
+    def test_requires_grid(self, small_workload_module):
+        with pytest.raises(ValueError):
+            compare_systems(small_workload_module.google_jobs, {})
+
+    def test_headline_numbers_consistent(self, comparison):
+        headline = comparison.headline()
+        low, high = headline["grid_fairness_range"]
+        assert low <= high
+        assert headline["cloud_fairness"] > high

@@ -1,0 +1,130 @@
+"""Unit tests for distribution fitting and model selection."""
+
+import numpy as np
+import pytest
+
+from repro.core.fit import (
+    CANDIDATE_FAMILIES,
+    fit_best,
+    fit_bounded_pareto,
+    fit_exponential,
+    fit_lognormal,
+    fit_weibull,
+    ks_statistic,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestKsStatistic:
+    def test_perfect_fit_small_ks(self, rng):
+        sample = rng.uniform(0, 1, 5000)
+        ks = ks_statistic(sample, lambda x: np.clip(x, 0, 1))
+        assert ks < 0.03
+
+    def test_wrong_model_large_ks(self, rng):
+        sample = rng.uniform(0, 1, 5000)
+        ks = ks_statistic(sample, lambda x: np.clip(x, 0, 1) ** 4)
+        assert ks > 0.3
+
+
+class TestExponentialFit:
+    def test_recovers_mean(self, rng):
+        sample = rng.exponential(50.0, 20000)
+        fit = fit_exponential(sample)
+        assert fit.params["mean"] == pytest.approx(50.0, rel=0.05)
+        assert fit.ks < 0.02
+        assert fit.distribution is not None
+
+    def test_rejects_bad_sample(self):
+        with pytest.raises(ValueError):
+            fit_exponential(np.array([1.0]))
+        with pytest.raises(ValueError):
+            fit_exponential(np.array([1.0, -1.0]))
+
+
+class TestLognormalFit:
+    def test_recovers_params(self, rng):
+        sample = rng.lognormal(np.log(100.0), 1.2, 20000)
+        fit = fit_lognormal(sample)
+        assert fit.params["median"] == pytest.approx(100.0, rel=0.08)
+        assert fit.params["sigma"] == pytest.approx(1.2, abs=0.05)
+        assert fit.ks < 0.02
+
+
+class TestWeibullFit:
+    def test_recovers_shape(self, rng):
+        from scipy import stats
+
+        sample = stats.weibull_min(c=1.5, scale=10.0).rvs(
+            20000, random_state=rng
+        )
+        fit = fit_weibull(sample)
+        assert fit.params["shape"] == pytest.approx(1.5, abs=0.1)
+        assert fit.ks < 0.02
+
+
+class TestBoundedParetoFit:
+    def test_recovers_alpha(self, rng):
+        from repro.synth.distributions import BoundedPareto
+
+        true = BoundedPareto(alpha=0.6, low=1.0, high=1e5)
+        sample = true.sample(rng, 50000)
+        fit = fit_bounded_pareto(sample)
+        assert fit.params["alpha"] == pytest.approx(0.6, abs=0.05)
+        assert fit.ks < 0.02
+
+    def test_degenerate_rejected(self):
+        with pytest.raises(ValueError):
+            fit_bounded_pareto(np.full(10, 5.0))
+
+
+class TestModelSelection:
+    def test_selects_true_family(self, rng):
+        cases = {
+            "exponential": rng.exponential(10.0, 8000),
+            "lognormal": rng.lognormal(2.0, 1.5, 8000),
+        }
+        for family, sample in cases.items():
+            fits = fit_best(sample)
+            assert fits[0].family == family, (
+                f"expected {family}, got {[f.family for f in fits]}"
+            )
+
+    def test_results_sorted_by_aic(self, rng):
+        fits = fit_best(rng.lognormal(0, 1, 2000))
+        aics = [f.aic for f in fits]
+        assert aics == sorted(aics)
+
+    def test_unknown_family_rejected(self, rng):
+        with pytest.raises(KeyError):
+            fit_best(rng.exponential(1.0, 100), families=("bogus",))
+
+    def test_families_registry_complete(self):
+        assert set(CANDIDATE_FAMILIES) == {
+            "exponential",
+            "lognormal",
+            "weibull",
+            "bounded_pareto",
+        }
+
+    def test_closes_loop_with_synthesis(self, rng):
+        """Fitted models are sampleable and reproduce the shape."""
+        sample = rng.lognormal(np.log(300.0), 1.0, 10000)
+        best = fit_best(sample)[0]
+        assert best.distribution is not None
+        resampled = best.distribution.sample(rng, 10000)
+        assert np.median(resampled) == pytest.approx(
+            np.median(sample), rel=0.1
+        )
+
+    def test_google_task_lengths_are_not_exponential(self, rng):
+        """The paper's heavy-tailed task lengths reject the memoryless fit."""
+        from repro.synth.presets import GOOGLE_TASK_LENGTH
+
+        sample = GOOGLE_TASK_LENGTH.sample(rng, 20000)
+        fits = {f.family: f for f in fit_best(sample)}
+        assert fits["exponential"].ks > 3 * fits["lognormal"].ks

@@ -1,0 +1,219 @@
+"""Unit and calibration tests for the Google workload model."""
+
+import numpy as np
+import pytest
+
+from repro.core.fairness import submission_rate_stats
+from repro.core.masscount import mass_count
+from repro.core.summary import fraction_below
+from repro.synth.google_model import (
+    FATE_CODES,
+    GoogleConfig,
+    generate_google_jobs,
+    generate_google_trace,
+    generate_task_requests,
+)
+from repro.synth.presets import DAY, HOUR
+from repro.traces.schema import JOB_TABLE_SCHEMA, TaskEvent
+from repro.traces.validate import validate_trace
+
+HORIZON = 2 * DAY
+
+
+class TestGoogleConfig:
+    def test_defaults_valid(self):
+        GoogleConfig()
+
+    def test_bad_fate_probs(self):
+        with pytest.raises(ValueError, match="sum to 1"):
+            GoogleConfig(fate_probs={"finish": 0.5, "fail": 0.1, "kill": 0.1, "evict": 0.1, "lost": 0.1})
+
+    def test_missing_fate_key(self):
+        with pytest.raises(ValueError, match="keys"):
+            GoogleConfig(fate_probs={"finish": 1.0})
+
+    def test_bad_priority_weights(self):
+        with pytest.raises(ValueError, match="12"):
+            GoogleConfig(priority_weights=(1.0, 2.0))
+
+    def test_bad_rate(self):
+        with pytest.raises(ValueError):
+            GoogleConfig(jobs_per_hour=-5)
+
+
+class TestGenerateGoogleJobs:
+    def test_schema(self):
+        jobs = generate_google_jobs(HORIZON, seed=0)
+        assert set(jobs.column_names) == set(JOB_TABLE_SCHEMA)
+
+    def test_deterministic(self):
+        a = generate_google_jobs(HORIZON, seed=3)
+        b = generate_google_jobs(HORIZON, seed=3)
+        assert a == b
+
+    def test_rate_near_552(self):
+        config = GoogleConfig(busy_window=None)
+        jobs = generate_google_jobs(10 * DAY, seed=1, config=config)
+        stats = submission_rate_stats(
+            np.asarray(jobs["submit_time"]), 10 * DAY
+        )
+        assert stats.avg_per_hour == pytest.approx(552, rel=0.05)
+
+    def test_fairness_near_094(self):
+        config = GoogleConfig(busy_window=None)
+        jobs = generate_google_jobs(20 * DAY, seed=2, config=config)
+        stats = submission_rate_stats(
+            np.asarray(jobs["submit_time"]), 20 * DAY
+        )
+        assert stats.fairness == pytest.approx(0.94, abs=0.04)
+
+    def test_job_lengths_mostly_short(self):
+        jobs = generate_google_jobs(HORIZON, seed=3)
+        lengths = np.asarray(jobs["end_time"] - jobs["submit_time"])
+        assert 0.7 < fraction_below(lengths, 1000.0) < 0.9
+
+    def test_priorities_in_range(self):
+        jobs = generate_google_jobs(HORIZON, seed=4)
+        assert jobs["priority"].min() >= 1
+        assert jobs["priority"].max() <= 12
+
+    def test_low_band_dominates(self):
+        jobs = generate_google_jobs(HORIZON, seed=5)
+        low = np.count_nonzero(jobs["priority"] <= 4)
+        assert low / len(jobs) > 0.7
+
+    def test_horizon_too_short(self):
+        with pytest.raises(ValueError):
+            generate_google_jobs(0.001, seed=0)
+
+
+class TestGenerateTaskRequests:
+    def test_direct_rate_mode(self):
+        req = generate_task_requests(
+            HORIZON, seed=0, tasks_per_hour=100.0,
+            config=GoogleConfig(busy_window=None),
+        )
+        assert len(req) == pytest.approx(100 * 48, rel=0.1)
+        assert np.all(np.diff(req.submit_time) >= 0)
+
+    def test_fanout_mode_shares_priority_within_job(self):
+        req = generate_task_requests(
+            6 * HOUR, seed=1, config=GoogleConfig(busy_window=None)
+        )
+        job_ids = req.job_id
+        priorities = req.priority
+        for jid in np.unique(job_ids)[:50]:
+            assert len(np.unique(priorities[job_ids == jid])) == 1
+
+    def test_task_lengths_calibration(self):
+        """Sec. VI: ~55% < 10 min, ~90% < 1 h, heavy service tail."""
+        req = generate_task_requests(
+            HORIZON, seed=2, tasks_per_hour=4000.0,
+            config=GoogleConfig(busy_window=None),
+        )
+        d = req.duration
+        assert fraction_below(d, 600) == pytest.approx(0.55, abs=0.06)
+        assert fraction_below(d, 3600) == pytest.approx(0.90, abs=0.05)
+        assert d.max() > 5 * DAY
+
+    def test_joint_ratio_near_6_94(self):
+        req = generate_task_requests(
+            HORIZON, seed=3, tasks_per_hour=4000.0,
+            config=GoogleConfig(busy_window=None),
+        )
+        mc = mass_count(req.duration)
+        assert mc.joint_ratio[0] == pytest.approx(6.0, abs=2.5)
+
+    def test_fates_from_config(self):
+        req = generate_task_requests(
+            HORIZON, seed=4, tasks_per_hour=1000.0,
+            config=GoogleConfig(busy_window=None),
+        )
+        valid = set(FATE_CODES.values())
+        assert set(np.unique(req.fate)) <= valid
+        finish_frac = np.count_nonzero(
+            req.fate == int(TaskEvent.FINISH)
+        ) / len(req)
+        assert finish_frac == pytest.approx(0.408, abs=0.05)
+
+    def test_requests_positive(self):
+        req = generate_task_requests(
+            6 * HOUR, seed=5, tasks_per_hour=500.0,
+            config=GoogleConfig(busy_window=None),
+        )
+        assert np.all(req.cpu_request > 0)
+        assert np.all(req.mem_request > 0)
+        assert np.all(req.duration > 0)
+
+    def test_sorted_by_time_helper(self):
+        req = generate_task_requests(
+            3 * HOUR, seed=6, tasks_per_hour=200.0,
+            config=GoogleConfig(busy_window=None),
+        )
+        shuffled_order = np.random.default_rng(0).permutation(len(req))
+        from repro.synth.google_model import TaskRequests
+
+        shuffled = TaskRequests(
+            **{
+                name: getattr(req, name)[shuffled_order]
+                for name in req.__dataclass_fields__
+            }
+        )
+        resorted = shuffled.sorted_by_time()
+        np.testing.assert_allclose(resorted.submit_time, req.submit_time)
+
+    def test_length_mismatch_rejected(self):
+        from repro.synth.google_model import TaskRequests
+
+        with pytest.raises(ValueError, match="length"):
+            TaskRequests(
+                submit_time=np.zeros(2),
+                job_id=np.zeros(2, dtype=np.int64),
+                task_index=np.zeros(2, dtype=np.int32),
+                priority=np.ones(2, dtype=np.int16),
+                cpu_request=np.ones(2),
+                mem_request=np.ones(2),
+                duration=np.ones(2),
+                cpu_utilization=np.ones(2),
+                mem_utilization=np.ones(2),
+                page_cache=np.ones(1),  # wrong length
+                fate=np.full(2, 4, dtype=np.int8),
+            )
+
+
+class TestGenerateGoogleTrace:
+    def test_valid_trace(self):
+        trace = generate_google_trace(
+            horizon=6 * HOUR,
+            num_machines=10,
+            seed=0,
+            tasks_per_hour=120.0,
+            config=GoogleConfig(busy_window=None),
+        )
+        validate_trace(trace)
+        assert trace.num_machines == 10
+        assert trace.num_jobs > 0
+        assert len(trace.task_usage) > 0
+
+    def test_usage_windows_within_horizon(self):
+        trace = generate_google_trace(
+            horizon=6 * HOUR,
+            num_machines=5,
+            seed=1,
+            tasks_per_hour=60.0,
+            config=GoogleConfig(busy_window=None),
+        )
+        assert trace.task_usage["end_time"].max() <= 6 * HOUR + 1e-6
+
+    def test_completion_mix_tracks_config(self):
+        from repro.traces.google import completion_mix
+
+        trace = generate_google_trace(
+            horizon=12 * HOUR,
+            num_machines=10,
+            seed=2,
+            tasks_per_hour=400.0,
+            config=GoogleConfig(busy_window=None),
+        )
+        mix = completion_mix(trace)
+        assert mix["abnormal"] == pytest.approx(0.592, abs=0.07)

@@ -1,0 +1,109 @@
+"""Unit tests for GoogleTrace accessors and derived quantities."""
+
+import numpy as np
+import pytest
+
+from repro.synth import GoogleConfig, generate_google_trace
+from repro.traces import (
+    GoogleTrace,
+    Table,
+    TaskEvent,
+    completion_mix,
+    job_lengths,
+    task_lengths,
+)
+
+HOUR = 3600.0
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return generate_google_trace(
+        horizon=8 * HOUR,
+        num_machines=8,
+        seed=0,
+        tasks_per_hour=150.0,
+        config=GoogleConfig(busy_window=None),
+    )
+
+
+class TestAccessors:
+    def test_counts(self, trace):
+        assert trace.num_jobs == len(trace.jobs)
+        assert trace.num_machines == 8
+        assert trace.num_tasks > 0
+        assert trace.num_tasks <= trace.num_jobs * 1  # single-task stream
+
+    def test_events_of_type(self, trace):
+        submits = trace.events_of_type(TaskEvent.SUBMIT)
+        assert len(submits) > 0
+        assert np.all(submits["event_type"] == int(TaskEvent.SUBMIT))
+
+    def test_machine_events_ordered(self, trace):
+        ev = trace.machine_events(0)
+        assert np.all(np.diff(ev["time"]) >= 0)
+        assert np.all(ev["machine_id"] == 0)
+
+    def test_bad_horizon_rejected(self, trace):
+        import dataclasses
+
+        with pytest.raises(ValueError):
+            dataclasses.replace(trace, horizon=-1.0)
+
+    def test_wrong_schema_rejected(self, trace):
+        import dataclasses
+
+        with pytest.raises(ValueError, match="jobs"):
+            dataclasses.replace(trace, jobs=Table({"a": np.zeros(1)}))
+
+
+class TestDerived:
+    def test_task_lengths_positive(self, trace):
+        lengths = task_lengths(trace)
+        assert lengths.size > 0
+        assert np.all(lengths >= 0)
+
+    def test_task_lengths_match_schedule_terminal_gap(self, trace):
+        """Cross-check one task's length against its raw events."""
+        lengths = task_lengths(trace)
+        ev = trace.task_events.sort_by("time")
+        etype = np.asarray(ev["event_type"])
+        terminal = np.isin(
+            etype,
+            [
+                int(TaskEvent.EVICT),
+                int(TaskEvent.FAIL),
+                int(TaskEvent.FINISH),
+                int(TaskEvent.KILL),
+                int(TaskEvent.LOST),
+            ],
+        )
+        # Number of (schedule, terminal) pairs equals the length count.
+        n_pairs = int(terminal.sum())
+        assert lengths.size == n_pairs
+
+    def test_job_lengths(self, trace):
+        lengths = job_lengths(trace)
+        assert lengths.size == trace.num_jobs
+        assert np.all(lengths >= 0)
+
+    def test_completion_mix_sums(self, trace):
+        mix = completion_mix(trace)
+        total = sum(
+            mix[k] for k in ("finish", "fail", "kill", "evict", "lost")
+        )
+        assert total == pytest.approx(1.0)
+        assert mix["abnormal"] == pytest.approx(1.0 - mix["finish"])
+
+    def test_completion_mix_empty_events(self, trace):
+        import dataclasses
+
+        from repro.traces.schema import TASK_EVENT_SCHEMA
+
+        empty = Table(
+            {k: np.empty(0, dtype=v) for k, v in TASK_EVENT_SCHEMA.items()},
+            schema=TASK_EVENT_SCHEMA,
+        )
+        silent = dataclasses.replace(trace, task_events=empty)
+        mix = completion_mix(silent)
+        assert all(v == 0.0 for v in mix.values())

@@ -1,0 +1,146 @@
+"""Unit and calibration tests for the Grid workload models."""
+
+import numpy as np
+import pytest
+
+from repro.core.fairness import submission_rate_stats
+from repro.core.masscount import mass_count
+from repro.synth.grid_hostload import GridHostConfig, generate_grid_host_series
+from repro.synth.grid_model import (
+    generate_all_grids,
+    generate_grid_jobs,
+    grid_preset,
+)
+from repro.synth.presets import DAY, GRID_PRESETS
+from repro.traces.schema import GWA_JOB_SCHEMA, SWF_JOB_SCHEMA
+
+HORIZON = 10 * DAY
+
+
+class TestPresets:
+    def test_all_eight_systems_present(self):
+        assert len(GRID_PRESETS) == 8
+        for name in (
+            "AuverGrid",
+            "NorduGrid",
+            "SHARCNET",
+            "ANL",
+            "RICC",
+            "METACENTRUM",
+            "LLNL-Atlas",
+            "DAS-2",
+        ):
+            assert name in GRID_PRESETS
+
+    def test_lookup(self):
+        assert grid_preset("AuverGrid").name == "AuverGrid"
+        with pytest.raises(KeyError, match="available"):
+            grid_preset("NoSuchGrid")
+
+    def test_preset_validation(self):
+        from repro.synth.presets import GridSystemPreset
+        from repro.synth.distributions import Deterministic
+
+        with pytest.raises(ValueError):
+            GridSystemPreset(
+                name="x",
+                archive="bogus",
+                mean_jobs_per_hour=1.0,
+                fairness=0.5,
+                diurnal_amplitude=0.5,
+                job_length=Deterministic(10.0),
+                proc_counts=(1,),
+                proc_weights=(1.0,),
+                utilization_range=(0.5, 1.0),
+                mem_mb=Deterministic(100.0),
+            )
+
+
+class TestGenerateGridJobs:
+    def test_gwa_schema(self):
+        jobs = generate_grid_jobs("AuverGrid", HORIZON, seed=0)
+        assert set(jobs.column_names) == set(GWA_JOB_SCHEMA)
+
+    def test_swf_schema(self):
+        jobs = generate_grid_jobs("ANL", HORIZON, seed=0)
+        assert set(jobs.column_names) == set(SWF_JOB_SCHEMA)
+
+    def test_rate_calibration(self):
+        jobs = generate_grid_jobs("AuverGrid", 30 * DAY, seed=1)
+        stats = submission_rate_stats(
+            np.asarray(jobs["submit_time"]), 30 * DAY
+        )
+        assert stats.avg_per_hour == pytest.approx(45, rel=0.25)
+
+    def test_fairness_much_lower_than_google(self):
+        for name in ("SHARCNET", "NorduGrid"):
+            jobs = generate_grid_jobs(name, 30 * DAY, seed=2)
+            stats = submission_rate_stats(
+                np.asarray(jobs["submit_time"]), 30 * DAY
+            )
+            assert stats.fairness < 0.3
+            assert stats.min_per_hour == 0
+
+    def test_auvergrid_masscount_calibration(self):
+        jobs = generate_grid_jobs("AuverGrid", 60 * DAY, seed=3)
+        mc = mass_count(np.asarray(jobs["run_time"]))
+        assert mc.joint_ratio[0] == pytest.approx(24, abs=4)
+
+    def test_parallel_systems_have_multiproc_jobs(self):
+        jobs = generate_grid_jobs("SHARCNET", HORIZON, seed=4)
+        assert jobs["num_procs"].max() > 1
+
+    def test_deterministic(self):
+        a = generate_grid_jobs("RICC", HORIZON, seed=5)
+        b = generate_grid_jobs("RICC", HORIZON, seed=5)
+        assert a == b
+
+    def test_too_short_horizon_rejected(self):
+        with pytest.raises(ValueError, match="horizon"):
+            generate_grid_jobs("LLNL-Atlas", 1.0, seed=0)
+
+    def test_generate_all(self):
+        out = generate_all_grids(HORIZON, seed=0)
+        assert set(out) == set(GRID_PRESETS)
+        subset = generate_all_grids(HORIZON, seed=0, systems=["ANL"])
+        assert set(subset) == {"ANL"}
+
+
+class TestGridHostload:
+    def test_shapes_and_bounds(self):
+        times, cpu, mem = generate_grid_host_series(5 * DAY, seed=0)
+        assert times.shape == cpu.shape == mem.shape
+        assert cpu.min() >= 0 and cpu.max() <= 1
+        assert mem.min() >= 0 and mem.max() <= 1
+
+    def test_cpu_above_memory(self):
+        _, cpu, mem = generate_grid_host_series(10 * DAY, seed=1)
+        assert cpu.mean() > mem.mean()
+
+    def test_low_noise(self):
+        from repro.core.noise import noise_stats
+
+        _, cpu, _ = generate_grid_host_series(10 * DAY, seed=2)
+        assert noise_stats(cpu)["mean"] < 0.01
+
+    def test_long_stable_levels(self):
+        from repro.core.segments import constant_segments, discretize
+
+        times, cpu, _ = generate_grid_host_series(10 * DAY, seed=3)
+        seg = constant_segments(times, discretize(np.clip(cpu, 0, 1)))
+        # Mean stable period should span hours, not minutes.
+        assert seg.durations.mean() > 3600.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            generate_grid_host_series(-1.0)
+        with pytest.raises(ValueError):
+            GridHostConfig(mean_level_duration=0.0)
+        with pytest.raises(ValueError):
+            GridHostConfig(noise_std=-0.1)
+
+    def test_deterministic(self):
+        a = generate_grid_host_series(DAY, seed=9)
+        b = generate_grid_host_series(DAY, seed=9)
+        for x, y in zip(a, b):
+            np.testing.assert_array_equal(x, y)

@@ -1,0 +1,73 @@
+"""Unit tests for the machine-fleet generator."""
+
+import numpy as np
+import pytest
+
+from repro.synth.machines import DEFAULT_FLEET, FleetConfig, generate_machines
+from repro.traces.schema import MACHINE_TABLE_SCHEMA
+
+
+class TestFleetConfig:
+    def test_default_valid(self):
+        assert abs(sum(DEFAULT_FLEET.cpu_weights) - 1) < 1e-9
+
+    def test_bad_weights_rejected(self):
+        with pytest.raises(ValueError):
+            FleetConfig(cpu_levels=(0.5, 1.0), cpu_weights=(0.5, 0.6))
+
+    def test_level_above_one_rejected(self):
+        with pytest.raises(ValueError):
+            FleetConfig(cpu_levels=(0.5, 1.5), cpu_weights=(0.5, 0.5))
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            FleetConfig(cpu_levels=(1.0,), cpu_weights=(0.5, 0.5))
+
+
+class TestGenerateMachines:
+    def test_schema(self, rng):
+        machines = generate_machines(20, rng)
+        assert set(machines.column_names) == set(MACHINE_TABLE_SCHEMA)
+        assert len(machines) == 20
+
+    def test_ids_unique(self, rng):
+        machines = generate_machines(50, rng)
+        assert len(np.unique(machines["machine_id"])) == 50
+
+    def test_capacities_from_levels(self, rng):
+        machines = generate_machines(200, rng)
+        assert set(np.unique(machines["cpu_capacity"])) <= {0.25, 0.5, 1.0}
+        assert set(np.unique(machines["mem_capacity"])) <= {
+            0.25,
+            0.5,
+            0.75,
+            1.0,
+        }
+        assert set(np.unique(machines["page_cache_capacity"])) == {1.0}
+
+    def test_weights_approximated(self, rng):
+        machines = generate_machines(5000, rng)
+        frac_half = np.count_nonzero(machines["cpu_capacity"] == 0.5) / 5000
+        assert frac_half == pytest.approx(0.62, abs=0.04)
+
+    def test_correlation_tilts_memory(self):
+        rng = np.random.default_rng(0)
+        machines = generate_machines(5000, rng, FleetConfig())
+        big = machines.select(machines["cpu_capacity"] == 1.0)
+        small = machines.select(machines["cpu_capacity"] == 0.25)
+        assert big["mem_capacity"].mean() > small["mem_capacity"].mean()
+
+    def test_uncorrelated_mode(self):
+        rng = np.random.default_rng(1)
+        config = FleetConfig(correlate_cpu_mem=False)
+        machines = generate_machines(100, rng, config)
+        assert len(machines) == 100
+
+    def test_zero_machines_rejected(self, rng):
+        with pytest.raises(ValueError):
+            generate_machines(0, rng)
+
+    def test_deterministic_given_seed(self):
+        a = generate_machines(30, np.random.default_rng(5))
+        b = generate_machines(30, np.random.default_rng(5))
+        assert a == b

@@ -1,0 +1,78 @@
+"""Unit tests for mass-count disparity analysis."""
+
+import numpy as np
+import pytest
+
+from repro.core.masscount import joint_ratio_label, mass_count
+
+
+class TestMassCount:
+    def test_uniform_sample_balanced(self):
+        # Identical items: count and mass CDFs coincide -> joint ~50/50.
+        mc = mass_count(np.full(100, 3.0))
+        assert mc.joint_ratio[0] == pytest.approx(50.0, abs=2.0)
+        assert mc.mm_distance == pytest.approx(0.0)
+
+    def test_pareto_sample_skewed(self):
+        rng = np.random.default_rng(0)
+        # alpha < 1 bounded Pareto: mass concentrates in few huge items.
+        u = rng.uniform(size=20000)
+        low, high, alpha = 1.0, 1e6, 0.5
+        la, ha = low**alpha, high**alpha
+        sample = (la / (1 - u * (1 - la / ha))) ** (1 / alpha)
+        mc = mass_count(sample)
+        assert mc.joint_ratio[0] < 15  # strongly Pareto
+        assert mc.mass_median > mc.count_median
+
+    def test_joint_ratio_sums_to_100(self):
+        rng = np.random.default_rng(1)
+        mc = mass_count(rng.lognormal(0, 1.5, 5000))
+        assert mc.joint_ratio[0] + mc.joint_ratio[1] == pytest.approx(100.0)
+
+    def test_lognormal_joint_ratio_theory(self):
+        # For lognormal(sigma), crossing at Fc = Phi(sigma/2).
+        from scipy.stats import norm
+
+        sigma = 1.4
+        rng = np.random.default_rng(2)
+        mc = mass_count(rng.lognormal(0, sigma, 200_000))
+        expected_small = 100 * (1 - norm.cdf(sigma / 2))
+        assert mc.joint_ratio[0] == pytest.approx(expected_small, abs=1.5)
+
+    def test_curves_monotone(self):
+        rng = np.random.default_rng(3)
+        mc = mass_count(rng.exponential(1.0, 1000))
+        assert np.all(np.diff(mc.count_cdf) >= 0)
+        assert np.all(np.diff(mc.mass_cdf) >= -1e-12)
+        assert mc.count_cdf[-1] == pytest.approx(1.0)
+        assert mc.mass_cdf[-1] == pytest.approx(1.0)
+
+    def test_mass_cdf_below_count_cdf(self):
+        # Mass lags count for any non-degenerate positive sample.
+        rng = np.random.default_rng(4)
+        mc = mass_count(rng.uniform(0.1, 10.0, 2000))
+        assert np.all(mc.mass_cdf <= mc.count_cdf + 1e-9)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mass_count(np.array([]))
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            mass_count(np.array([1.0, -1.0]))
+
+    def test_zero_total_rejected(self):
+        with pytest.raises(ValueError):
+            mass_count(np.zeros(5))
+
+    def test_label_format(self):
+        mc = mass_count(np.full(10, 1.0))
+        label = joint_ratio_label(mc)
+        x, y = label.split("/")
+        assert int(x) + int(y) == 100
+
+    def test_relative_mm_distance(self):
+        mc = mass_count(np.array([1.0, 2.0, 3.0, 100.0]))
+        rel = mc.mm_distance_relative()
+        assert 0 <= rel <= 1
+        assert mc.mm_distance_relative(scale=mc.mm_distance) == pytest.approx(1.0)

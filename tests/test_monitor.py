@@ -1,0 +1,133 @@
+"""Unit tests for the usage monitor."""
+
+import numpy as np
+import pytest
+
+from repro.sim.machine import FleetState
+from repro.sim.monitor import (
+    CLUSTER_SERIES_SCHEMA,
+    MACHINE_USAGE_SCHEMA,
+    MonitorConfig,
+    UsageMonitor,
+)
+from repro.sim.task import SimTask
+from repro.traces.table import Table
+
+
+def _fleet(n=3):
+    return FleetState(
+        Table(
+            {
+                "machine_id": np.arange(n, dtype=np.int64),
+                "cpu_capacity": np.ones(n),
+                "mem_capacity": np.ones(n),
+                "page_cache_capacity": np.ones(n),
+            }
+        )
+    )
+
+
+def _task(job=0, band=1, cpu=0.2, mem=0.3):
+    return SimTask(
+        job_id=job,
+        task_index=0,
+        priority=6 if band == 1 else (10 if band == 2 else 2),
+        band=band,
+        cpu_request=cpu,
+        mem_request=mem,
+        duration=100.0,
+        cpu_eff=cpu * 0.5,
+        mem_eff=mem * 0.9,
+        page_cache=0.01,
+        fate=4,
+        submit_time=0.0,
+    )
+
+
+class TestUsageMonitor:
+    def test_empty_tables(self):
+        fleet = _fleet()
+        monitor = UsageMonitor(fleet, MonitorConfig(), np.random.default_rng(0))
+        mu = monitor.machine_usage_table()
+        cs = monitor.cluster_series_table()
+        assert len(mu) == 0
+        assert len(cs) == 0
+        assert set(mu.column_names) == set(MACHINE_USAGE_SCHEMA)
+        assert set(cs.column_names) == set(CLUSTER_SERIES_SCHEMA)
+
+    def test_sample_records_all_machines(self):
+        fleet = _fleet(4)
+        monitor = UsageMonitor(fleet, MonitorConfig(), np.random.default_rng(1))
+        monitor.sample(0.0, n_pending=2, n_finished=1, n_abnormal=0)
+        monitor.sample(300.0, n_pending=0, n_finished=3, n_abnormal=1)
+        mu = monitor.machine_usage_table()
+        assert len(mu) == 8
+        cs = monitor.cluster_series_table()
+        assert len(cs) == 2
+        np.testing.assert_array_equal(cs["n_pending"], [2, 0])
+
+    def test_zero_noise_matches_base(self):
+        fleet = _fleet(1)
+        task = _task()
+        fleet.start(0, task)
+        config = MonitorConfig(
+            cpu_noise=0.0, mem_noise=0.0, page_noise=0.0, cpu_spike_prob=0.0
+        )
+        monitor = UsageMonitor(fleet, config, np.random.default_rng(2))
+        monitor.sample(0.0, 0, 0, 0)
+        mu = monitor.machine_usage_table()
+        assert mu["cpu_usage"][0] == pytest.approx(task.cpu_eff)
+        assert mu["mem_usage"][0] == pytest.approx(task.mem_eff)
+        assert mu["mem_assigned"][0] == pytest.approx(task.mem_request)
+
+    def test_band_columns_consistent(self):
+        fleet = _fleet(1)
+        fleet.start(0, _task(job=1, band=0, cpu=0.1))
+        fleet.start(0, _task(job=2, band=1, cpu=0.1))
+        fleet.start(0, _task(job=3, band=2, cpu=0.1))
+        config = MonitorConfig(
+            cpu_noise=0.0, mem_noise=0.0, page_noise=0.0, cpu_spike_prob=0.0
+        )
+        monitor = UsageMonitor(fleet, config, np.random.default_rng(3))
+        monitor.sample(0.0, 0, 0, 0)
+        mu = monitor.machine_usage_table()
+        # Three equal tasks, one per band: mid_high = 2/3, high = 1/3.
+        assert mu["cpu_mid_high"][0] == pytest.approx(
+            mu["cpu_usage"][0] * 2 / 3
+        )
+        assert mu["cpu_high"][0] == pytest.approx(mu["cpu_usage"][0] / 3)
+
+    def test_spike_bounded_by_allocation(self):
+        fleet = _fleet(1)
+        task = _task(cpu=0.5)
+        fleet.start(0, task)
+        config = MonitorConfig(
+            cpu_noise=0.0, mem_noise=0.0, page_noise=0.0, cpu_spike_prob=1.0
+        )
+        monitor = UsageMonitor(fleet, config, np.random.default_rng(4))
+        for t in range(20):
+            monitor.sample(float(t) * 300, 0, 0, 0)
+        mu = monitor.machine_usage_table()
+        # Spikes reach toward the 0.5 allocation, never beyond it.
+        assert mu["cpu_usage"].max() <= 0.5 + 1e-9
+        assert mu["cpu_usage"].max() > task.cpu_eff
+
+    def test_usage_never_negative_or_above_capacity(self):
+        fleet = _fleet(2)
+        fleet.start(0, _task(job=1, cpu=0.9, mem=0.9))
+        monitor = UsageMonitor(
+            fleet, MonitorConfig(cpu_noise=5.0), np.random.default_rng(5)
+        )
+        for t in range(200):
+            monitor.sample(float(t), 0, 0, 0)
+        mu = monitor.machine_usage_table()
+        assert mu["cpu_usage"].min() >= 0
+        assert mu["cpu_usage"].max() <= 1.0 + 1e-9
+
+
+class TestMonitorConfigValidation:
+    def test_spike_validation(self):
+        with pytest.raises(ValueError):
+            MonitorConfig(cpu_spike_prob=1.5)
+        with pytest.raises(ValueError):
+            MonitorConfig(cpu_spike_range=(0.9, 0.1))

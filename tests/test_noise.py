@@ -1,0 +1,96 @@
+"""Unit tests for noise and autocorrelation measures."""
+
+import numpy as np
+import pytest
+
+from repro.core.noise import (
+    autocorrelation,
+    mean_filter,
+    noise_series,
+    noise_stats,
+)
+
+
+class TestMeanFilter:
+    def test_constant_signal_unchanged(self):
+        x = np.full(50, 0.7)
+        np.testing.assert_allclose(mean_filter(x), x)
+
+    def test_output_length_preserved(self):
+        x = np.arange(20, dtype=float)
+        assert mean_filter(x, window=5).shape == x.shape
+
+    def test_smooths_alternation(self):
+        x = np.tile([0.0, 1.0], 50)
+        smooth = mean_filter(x, window=10)
+        assert np.abs(smooth[20:-20] - 0.5).max() < 0.11
+
+    def test_window_one_identity(self):
+        x = np.array([1.0, 5.0, 2.0])
+        np.testing.assert_allclose(mean_filter(x, window=1), x)
+
+    def test_bad_window_rejected(self):
+        with pytest.raises(ValueError):
+            mean_filter(np.zeros(5), window=0)
+
+    def test_empty_signal(self):
+        assert mean_filter(np.empty(0)).size == 0
+
+    def test_linear_trend_preserved_in_interior(self):
+        x = np.arange(100, dtype=float)
+        smooth = mean_filter(x, window=5)
+        np.testing.assert_allclose(smooth[10:-10], x[10:-10])
+
+
+class TestNoise:
+    def test_constant_signal_zero_noise(self):
+        stats = noise_stats(np.full(100, 0.5))
+        assert stats["mean"] == pytest.approx(0.0)
+        assert stats["max"] == pytest.approx(0.0)
+
+    def test_noisier_signal_more_noise(self):
+        rng = np.random.default_rng(0)
+        base = np.full(2000, 0.5)
+        quiet = base + 0.001 * rng.standard_normal(2000)
+        loud = base + 0.05 * rng.standard_normal(2000)
+        assert noise_stats(loud)["mean"] > 10 * noise_stats(quiet)["mean"]
+
+    def test_noise_series_nonnegative(self):
+        rng = np.random.default_rng(1)
+        resid = noise_series(rng.uniform(0, 1, 100))
+        assert np.all(resid >= 0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            noise_stats(np.array([]))
+
+    def test_paper_noise_ratio_regime(self):
+        """The Google/Grid ~20x noise gap is measurable by this metric."""
+        rng = np.random.default_rng(2)
+        grid = 0.9 + 0.0015 * rng.standard_normal(5000)
+        google = 0.35 * (1 + 0.1 * rng.standard_normal(5000))
+        ratio = noise_stats(google)["mean"] / noise_stats(grid)["mean"]
+        assert ratio > 10
+
+
+class TestAutocorrelation:
+    def test_constant_is_zero(self):
+        assert autocorrelation(np.full(50, 3.0)) == 0.0
+
+    def test_white_noise_near_zero(self):
+        rng = np.random.default_rng(3)
+        assert abs(autocorrelation(rng.standard_normal(20000))) < 0.03
+
+    def test_persistent_signal_near_one(self):
+        x = np.repeat(np.random.default_rng(4).uniform(0, 1, 20), 50)
+        assert autocorrelation(x) > 0.9
+
+    def test_alternating_negative(self):
+        x = np.tile([0.0, 1.0], 100)
+        assert autocorrelation(x) < -0.9
+
+    def test_lag_validation(self):
+        with pytest.raises(ValueError):
+            autocorrelation(np.zeros(10), lag=0)
+        with pytest.raises(ValueError):
+            autocorrelation(np.zeros(3), lag=5)

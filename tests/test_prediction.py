@@ -1,0 +1,166 @@
+"""Unit tests for host-load predictors and their evaluation."""
+
+import numpy as np
+import pytest
+
+from repro.prediction import (
+    EWMA,
+    AutoRegressive,
+    LastValue,
+    MarkovLevel,
+    MovingAverage,
+    compare_predictors,
+    evaluate_predictor,
+    fit_ar_coefficients,
+    transition_matrix,
+)
+
+
+@pytest.fixture
+def noisy_sine():
+    rng = np.random.default_rng(0)
+    t = np.arange(600)
+    return 0.5 + 0.3 * np.sin(2 * np.pi * t / 48) + 0.02 * rng.standard_normal(600)
+
+
+class TestLastValue:
+    def test_predicts_previous(self):
+        series = np.array([1.0, 2.0, 3.0])
+        out = LastValue().predict_series(series)
+        assert np.isnan(out[0])
+        np.testing.assert_allclose(out[1:], [1.0, 2.0])
+
+    def test_scalar_predict(self):
+        assert LastValue().predict(np.array([5.0, 7.0])) == 7.0
+
+
+class TestMovingAverage:
+    def test_window(self):
+        series = np.array([1.0, 2.0, 3.0, 4.0])
+        out = MovingAverage(window=2).predict_series(series)
+        np.testing.assert_allclose(out[1:], [1.0, 1.5, 2.5])
+
+    def test_series_matches_scalar(self, noisy_sine):
+        ma = MovingAverage(window=5)
+        out = ma.predict_series(noisy_sine)
+        for i in (10, 100, 500):
+            assert out[i] == pytest.approx(ma.predict(noisy_sine[:i]))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MovingAverage(window=0)
+
+
+class TestEWMA:
+    def test_constant_series(self):
+        out = EWMA(alpha=0.5).predict_series(np.full(10, 3.0))
+        np.testing.assert_allclose(out[1:], 3.0)
+
+    def test_series_matches_scalar(self, noisy_sine):
+        ew = EWMA(alpha=0.3)
+        out = ew.predict_series(noisy_sine)
+        for i in (5, 50, 300):
+            assert out[i] == pytest.approx(ew.predict(noisy_sine[:i]))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EWMA(alpha=0.0)
+        with pytest.raises(ValueError):
+            EWMA(alpha=1.5)
+
+
+class TestAutoRegressive:
+    def test_fit_recovers_ar1(self):
+        rng = np.random.default_rng(1)
+        n = 5000
+        x = np.zeros(n)
+        for i in range(1, n):
+            x[i] = 0.2 + 0.7 * x[i - 1] + 0.01 * rng.standard_normal()
+        coeffs = fit_ar_coefficients(x, order=1)
+        assert coeffs[1] == pytest.approx(0.7, abs=0.03)
+        assert coeffs[0] == pytest.approx(0.2, abs=0.03)
+
+    def test_fit_validation(self):
+        with pytest.raises(ValueError):
+            fit_ar_coefficients(np.zeros(3), order=2)
+        with pytest.raises(ValueError):
+            fit_ar_coefficients(np.zeros(100), order=0)
+
+    def test_beats_moving_average_on_smooth_signal(self, noisy_sine):
+        # The sine drifts, so a lagging window average must lose to AR.
+        ar = AutoRegressive(order=4, train_window=200, refit_every=50)
+        scores = compare_predictors(
+            {"ar": ar, "ma": MovingAverage(window=24)}, noisy_sine
+        )
+        by_name = {s.predictor: s.mse for s in scores}
+        assert by_name["ar"] < by_name["ma"]
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            AutoRegressive(order=0)
+        with pytest.raises(ValueError):
+            AutoRegressive(order=10, train_window=5)
+        with pytest.raises(ValueError):
+            AutoRegressive(refit_every=0)
+
+
+class TestMarkov:
+    def test_transition_matrix_stochastic(self):
+        levels = np.array([0, 0, 1, 2, 1, 0, 1, 1])
+        matrix = transition_matrix(levels, 3)
+        np.testing.assert_allclose(matrix.sum(axis=1), 1.0)
+
+    def test_unvisited_rows_self_loop(self):
+        matrix = transition_matrix(np.array([0, 0]), 3)
+        assert matrix[2, 2] == 1.0
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            transition_matrix(np.array([0, 5]), 3)
+
+    def test_persistent_levels_predicted(self):
+        # A series stuck in one level should predict that level's midpoint.
+        series = np.full(100, 0.5)
+        pred = MarkovLevel().predict(series)
+        assert pred == pytest.approx(0.5, abs=0.01)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MarkovLevel(edges=(0.0, 1.0))
+        with pytest.raises(ValueError):
+            MarkovLevel(train_window=1)
+
+
+class TestEvaluate:
+    def test_perfect_predictor_zero_error(self):
+        series = np.full(50, 2.0)
+        score = evaluate_predictor(LastValue(), series)
+        assert score.mse == 0.0
+        assert score.rmse == 0.0
+        assert score.num_predictions == 49
+
+    def test_too_short_rejected(self):
+        with pytest.raises(ValueError):
+            evaluate_predictor(AutoRegressive(order=4), np.zeros(5))
+
+    def test_compare_sorted(self, noisy_sine):
+        scores = compare_predictors(
+            {
+                "last": LastValue(),
+                "ma": MovingAverage(window=12),
+                "ewma": EWMA(alpha=0.4),
+            },
+            noisy_sine,
+        )
+        mses = [s.mse for s in scores]
+        assert mses == sorted(mses)
+
+    def test_noisier_series_harder_to_predict(self):
+        """The paper's claim: noisy Cloud load predicts worse."""
+        rng = np.random.default_rng(2)
+        base = np.full(2000, 0.5)
+        grid_like = base + 0.002 * rng.standard_normal(2000)
+        cloud_like = base + 0.05 * rng.standard_normal(2000)
+        s_grid = evaluate_predictor(LastValue(), grid_like)
+        s_cloud = evaluate_predictor(LastValue(), cloud_like)
+        assert s_cloud.mse > 100 * s_grid.mse

@@ -1,0 +1,72 @@
+"""Unit tests for trace schema constants and priority banding."""
+
+import numpy as np
+import pytest
+
+from repro.traces.schema import (
+    ABNORMAL_EVENTS,
+    HIGH_PRIORITIES,
+    LOW_PRIORITIES,
+    MIDDLE_PRIORITIES,
+    NUM_PRIORITIES,
+    TERMINAL_EVENTS,
+    PriorityBand,
+    TaskEvent,
+    TaskState,
+    priority_band,
+    priority_band_array,
+)
+
+
+class TestPriorityBand:
+    def test_low(self):
+        for p in LOW_PRIORITIES:
+            assert priority_band(p) == PriorityBand.LOW
+
+    def test_middle(self):
+        for p in MIDDLE_PRIORITIES:
+            assert priority_band(p) == PriorityBand.MIDDLE
+
+    def test_high(self):
+        for p in HIGH_PRIORITIES:
+            assert priority_band(p) == PriorityBand.HIGH
+
+    def test_bands_partition_priorities(self):
+        all_p = (*LOW_PRIORITIES, *MIDDLE_PRIORITIES, *HIGH_PRIORITIES)
+        assert sorted(all_p) == list(range(1, NUM_PRIORITIES + 1))
+
+    @pytest.mark.parametrize("bad", [0, 13, -1])
+    def test_out_of_range(self, bad):
+        with pytest.raises(ValueError):
+            priority_band(bad)
+
+    def test_vectorized_matches_scalar(self):
+        priorities = np.arange(1, 13)
+        bands = priority_band_array(priorities)
+        expected = [priority_band(int(p)).value for p in priorities]
+        np.testing.assert_array_equal(bands, expected)
+
+    def test_vectorized_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            priority_band_array(np.array([0, 5]))
+
+    def test_vectorized_empty(self):
+        assert priority_band_array(np.empty(0, dtype=int)).size == 0
+
+
+class TestEventConstants:
+    def test_terminal_events_move_to_dead(self):
+        assert TaskEvent.FINISH in TERMINAL_EVENTS
+        assert TaskEvent.SUBMIT not in TERMINAL_EVENTS
+        assert TaskEvent.SCHEDULE not in TERMINAL_EVENTS
+
+    def test_abnormal_is_terminal_minus_finish(self):
+        assert set(ABNORMAL_EVENTS) == set(TERMINAL_EVENTS) - {TaskEvent.FINISH}
+
+    def test_task_states(self):
+        assert TaskState.PENDING != TaskState.RUNNING
+        assert int(TaskState.UNSUBMITTED) == 0
+
+    def test_event_codes_distinct(self):
+        codes = [int(e) for e in TaskEvent]
+        assert len(codes) == len(set(codes))

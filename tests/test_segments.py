@@ -1,0 +1,121 @@
+"""Unit tests for run-length segmentation of discretized series."""
+
+import numpy as np
+import pytest
+
+from repro.core.segments import (
+    DEFAULT_USAGE_LEVELS,
+    QUEUE_STATE_LEVELS,
+    constant_segments,
+    discretize,
+    level_durations,
+    usage_level_labels,
+)
+
+
+class TestDiscretize:
+    def test_default_levels(self):
+        values = np.array([0.0, 0.19, 0.2, 0.59, 0.99, 1.0])
+        np.testing.assert_array_equal(
+            discretize(values), [0, 0, 1, 2, 4, 4]
+        )
+
+    def test_exact_one_in_top_level(self):
+        assert discretize(np.array([1.0]))[0] == 4
+
+    def test_queue_levels_unbounded_top(self):
+        values = np.array([0, 9, 10, 49, 50, 500], dtype=float)
+        out = discretize(values, QUEUE_STATE_LEVELS)
+        np.testing.assert_array_equal(out, [0, 0, 1, 4, 5, 5])
+
+    def test_below_first_edge_rejected(self):
+        with pytest.raises(ValueError):
+            discretize(np.array([-0.1]))
+
+    def test_bad_edges_rejected(self):
+        with pytest.raises(ValueError):
+            discretize(np.array([0.5]), np.array([0.0, 0.0, 1.0]))
+        with pytest.raises(ValueError):
+            discretize(np.array([0.5]), np.array([0.0]))
+
+
+class TestConstantSegments:
+    def test_basic_runs(self):
+        times = np.array([0.0, 1.0, 2.0, 3.0, 4.0])
+        levels = np.array([0, 0, 1, 1, 0])
+        seg = constant_segments(times, levels)
+        np.testing.assert_array_equal(seg.levels, [0, 1, 0])
+        np.testing.assert_array_equal(seg.start_times, [0.0, 2.0, 4.0])
+        # Last run gets the trailing median sampling interval (1.0).
+        np.testing.assert_allclose(seg.durations, [2.0, 2.0, 1.0])
+
+    def test_single_sample(self):
+        seg = constant_segments(np.array([5.0]), np.array([3]))
+        assert len(seg) == 1
+        assert seg.durations[0] == pytest.approx(1.0)
+
+    def test_empty(self):
+        seg = constant_segments(np.empty(0), np.empty(0))
+        assert len(seg) == 0
+
+    def test_constant_series_single_run(self):
+        times = np.arange(10, dtype=float)
+        seg = constant_segments(times, np.zeros(10, dtype=int))
+        assert len(seg) == 1
+        assert seg.durations[0] == pytest.approx(10.0)
+
+    def test_durations_sum_to_span(self):
+        rng = np.random.default_rng(0)
+        times = np.arange(100, dtype=float) * 300.0
+        levels = rng.integers(0, 3, 100)
+        seg = constant_segments(times, levels)
+        expected = times[-1] - times[0] + 300.0
+        assert seg.durations.sum() == pytest.approx(expected)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            constant_segments(np.array([0.0]), np.array([0, 1]))
+
+    def test_non_increasing_times_rejected(self):
+        with pytest.raises(ValueError):
+            constant_segments(np.array([0.0, 0.0]), np.array([0, 0]))
+
+    def test_for_level(self):
+        times = np.array([0.0, 1.0, 2.0])
+        seg = constant_segments(times, np.array([1, 0, 1]))
+        assert seg.for_level(1).size == 2
+        assert seg.for_level(0).size == 1
+        assert seg.for_level(5).size == 0
+
+
+class TestLevelDurations:
+    def test_every_level_keyed(self):
+        times = np.arange(5, dtype=float)
+        values = np.array([0.1, 0.1, 0.5, 0.5, 0.9])
+        out = level_durations(times, values)
+        assert set(out) == {0, 1, 2, 3, 4}
+        assert out[0].size == 1
+        assert out[2].size == 1
+        assert out[4].size == 1
+        assert out[1].size == 0
+
+    def test_total_time_conserved(self):
+        rng = np.random.default_rng(1)
+        times = np.arange(200, dtype=float) * 300.0
+        values = rng.uniform(0, 1, 200)
+        out = level_durations(times, values)
+        total = sum(d.sum() for d in out.values())
+        assert total == pytest.approx(times[-1] - times[0] + 300.0)
+
+
+class TestLabels:
+    def test_default_labels(self):
+        labels = usage_level_labels()
+        assert labels[0] == "[0,0.2)"
+        assert len(labels) == len(DEFAULT_USAGE_LEVELS) - 1
+
+    def test_queue_labels(self):
+        labels = usage_level_labels(QUEUE_STATE_LEVELS)
+        assert labels[0] == "[0,10)"
+        assert labels[-1] == "[50,inf)"
+        assert len(labels) == len(QUEUE_STATE_LEVELS) - 1

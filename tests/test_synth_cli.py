@@ -1,0 +1,57 @@
+"""Tests for the repro-generate CLI."""
+
+import pytest
+
+from repro.synth.cli import main
+from repro.traces.gwa import read_gwa
+from repro.traces.io import load_trace
+from repro.traces.swf import read_swf
+
+
+class TestCli:
+    def test_list_systems(self, capsys):
+        assert main(["--list-systems"]) == 0
+        out = capsys.readouterr().out
+        assert "AuverGrid" in out
+        assert "GWA" in out and "SWF" in out
+
+    def test_google_trace(self, tmp_path, capsys):
+        out_dir = tmp_path / "trace"
+        code = main(
+            [
+                "google",
+                "--days",
+                "0.1",
+                "--machines",
+                "5",
+                "--out",
+                str(out_dir),
+            ]
+        )
+        assert code == 0
+        trace = load_trace(out_dir)
+        assert trace.num_machines == 5
+        assert "wrote Google trace" in capsys.readouterr().out
+
+    def test_grid_gwa(self, tmp_path):
+        out = tmp_path / "ag.gwa.gz"
+        assert main(
+            ["grid", "AuverGrid", "--days", "2", "--out", str(out)]
+        ) == 0
+        jobs = read_gwa(out)
+        assert jobs.num_rows > 0
+
+    def test_grid_swf(self, tmp_path):
+        out = tmp_path / "anl.swf"
+        assert main(["grid", "ANL", "--days", "3", "--out", str(out)]) == 0
+        jobs = read_swf(out)
+        assert jobs.num_rows > 0
+
+    def test_unknown_system(self, tmp_path, capsys):
+        out = tmp_path / "x.gwa"
+        assert main(["grid", "NoSuchGrid", "--out", str(out)]) == 2
+        assert "unknown" in capsys.readouterr().err
+
+    def test_no_command_prints_help(self, capsys):
+        assert main([]) == 2
+        assert "usage" in capsys.readouterr().out

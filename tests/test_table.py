@@ -1,0 +1,160 @@
+"""Unit tests for the columnar Table container."""
+
+import numpy as np
+import pytest
+
+from repro.traces.table import Table, concat_tables
+
+
+def _table() -> Table:
+    return Table(
+        {
+            "a": np.array([3, 1, 2]),
+            "b": np.array([30.0, 10.0, 20.0]),
+        }
+    )
+
+
+class TestConstruction:
+    def test_basic(self):
+        t = _table()
+        assert len(t) == 3
+        assert t.num_rows == 3
+        assert set(t.column_names) == {"a", "b"}
+
+    def test_unequal_lengths_rejected(self):
+        with pytest.raises(ValueError, match="unequal"):
+            Table({"a": [1, 2], "b": [1.0]})
+
+    def test_non_1d_rejected(self):
+        with pytest.raises(ValueError, match="1-D"):
+            Table({"a": np.zeros((2, 2))})
+
+    def test_schema_enforced(self):
+        schema = {"a": np.dtype(np.int64)}
+        t = Table({"a": [1.0, 2.0]}, schema=schema)
+        assert t["a"].dtype == np.int64
+
+    def test_schema_mismatch_rejected(self):
+        schema = {"a": np.dtype(np.int64), "missing": np.dtype(np.int64)}
+        with pytest.raises(ValueError, match="missing"):
+            Table({"a": [1]}, schema=schema)
+
+    def test_extra_column_rejected_by_schema(self):
+        schema = {"a": np.dtype(np.int64)}
+        with pytest.raises(ValueError, match="extra"):
+            Table({"a": [1], "b": [2]}, schema=schema)
+
+    def test_empty_table(self):
+        t = Table({"a": np.empty(0)})
+        assert len(t) == 0
+
+
+class TestAccess:
+    def test_getitem(self):
+        t = _table()
+        np.testing.assert_array_equal(t["a"], [3, 1, 2])
+
+    def test_contains_and_iter(self):
+        t = _table()
+        assert "a" in t
+        assert "zzz" not in t
+        assert sorted(t) == ["a", "b"]
+
+    def test_row(self):
+        t = _table()
+        assert t.row(1) == {"a": 1, "b": 10.0}
+
+    def test_columns_returns_copy_of_mapping(self):
+        t = _table()
+        cols = t.columns()
+        cols["c"] = np.zeros(3)
+        assert "c" not in t
+
+    def test_repr_mentions_rows(self):
+        assert "rows=3" in repr(_table())
+
+    def test_equality(self):
+        assert _table() == _table()
+        assert _table() != _table().select(np.array([0, 1]))
+        assert _table().__eq__(42) is NotImplemented
+
+
+class TestTransforms:
+    def test_select_mask(self):
+        t = _table()
+        sub = t.select(t["a"] > 1)
+        assert len(sub) == 2
+        np.testing.assert_array_equal(sub["a"], [3, 2])
+
+    def test_select_indices(self):
+        sub = _table().select(np.array([2, 0]))
+        np.testing.assert_array_equal(sub["a"], [2, 3])
+
+    def test_sort_by(self):
+        t = _table().sort_by("a")
+        np.testing.assert_array_equal(t["a"], [1, 2, 3])
+        np.testing.assert_array_equal(t["b"], [10.0, 20.0, 30.0])
+
+    def test_sort_by_requires_column(self):
+        with pytest.raises(ValueError):
+            _table().sort_by()
+
+    def test_sort_by_multiple_keys_stable(self):
+        t = Table({"k": [1, 1, 0], "v": [5, 4, 3]})
+        s = t.sort_by("k", "v")
+        np.testing.assert_array_equal(s["v"], [3, 4, 5])
+
+    def test_with_columns(self):
+        t = _table().with_columns(c=np.array([1, 1, 1]))
+        assert "c" in t
+        assert len(t) == 3
+
+    def test_with_columns_replaces(self):
+        t = _table().with_columns(a=np.array([9, 9, 9]))
+        np.testing.assert_array_equal(t["a"], [9, 9, 9])
+
+    def test_drop(self):
+        t = _table().drop("b")
+        assert t.column_names == ("a",)
+
+    def test_drop_unknown_raises(self):
+        with pytest.raises(KeyError):
+            _table().drop("zzz")
+
+    def test_head(self):
+        assert len(_table().head(2)) == 2
+        assert len(_table().head(100)) == 3
+
+
+class TestGrouping:
+    def test_group_indices(self):
+        t = Table({"k": np.array([2, 1, 2, 1, 3])})
+        groups = t.group_indices("k")
+        assert set(groups) == {1, 2, 3}
+        np.testing.assert_array_equal(sorted(groups[1]), [1, 3])
+        np.testing.assert_array_equal(sorted(groups[2]), [0, 2])
+
+    def test_group_indices_empty(self):
+        t = Table({"k": np.empty(0, dtype=np.int64)})
+        assert t.group_indices("k") == {}
+
+    def test_groups_partition_all_rows(self):
+        t = Table({"k": np.array([5, 5, 5, 7])})
+        groups = t.group_indices("k")
+        total = sum(len(v) for v in groups.values())
+        assert total == len(t)
+
+
+class TestConcat:
+    def test_concat(self):
+        t = concat_tables([_table(), _table()])
+        assert len(t) == 6
+
+    def test_concat_empty_list_rejected(self):
+        with pytest.raises(ValueError):
+            concat_tables([])
+
+    def test_concat_mismatched_columns_rejected(self):
+        with pytest.raises(ValueError, match="same columns"):
+            concat_tables([_table(), _table().drop("b")])

@@ -1,0 +1,147 @@
+"""Unit tests for GWA/SWF formats, CSV I/O and trace persistence."""
+
+import numpy as np
+import pytest
+
+from repro.synth.google_model import GoogleConfig, generate_google_trace
+from repro.traces.gwa import MISSING, gwa_table, read_gwa, write_gwa
+from repro.traces.io import load_trace, read_csv, save_trace, write_csv
+from repro.traces.schema import GWA_JOB_SCHEMA, SWF_JOB_SCHEMA
+from repro.traces.swf import read_swf, swf_table, write_swf
+from repro.traces.table import Table
+
+
+def _gwa():
+    return gwa_table(
+        submit_time=np.array([0.0, 10.0, 20.0]),
+        run_time=np.array([100.0, 200.0, 300.0]),
+        num_procs=np.array([1, 2, 4]),
+    )
+
+
+class TestGwaTable:
+    def test_defaults_filled(self):
+        t = _gwa()
+        assert set(t.column_names) == set(GWA_JOB_SCHEMA)
+        assert np.all(t["wait_time"] == MISSING)
+        np.testing.assert_array_equal(t["job_id"], [0, 1, 2])
+        assert np.all(t["status"] == 1)
+
+    def test_unknown_column_rejected(self):
+        with pytest.raises(ValueError, match="unknown"):
+            gwa_table(bogus=np.array([1.0]))
+
+    def test_no_columns_rejected(self):
+        with pytest.raises(ValueError):
+            gwa_table()
+
+
+class TestGwaRoundTrip:
+    def test_plain(self, tmp_path):
+        path = tmp_path / "trace.gwa"
+        write_gwa(_gwa(), path)
+        back = read_gwa(path)
+        assert back == Table(
+            {k: _gwa()[k] for k in back.column_names},
+            schema=GWA_JOB_SCHEMA,
+        )
+
+    def test_gzip(self, tmp_path):
+        path = tmp_path / "trace.gwa.gz"
+        write_gwa(_gwa(), path)
+        back = read_gwa(path)
+        np.testing.assert_allclose(back["run_time"], [100.0, 200.0, 300.0])
+
+    def test_comments_skipped(self, tmp_path):
+        path = tmp_path / "t.gwa"
+        write_gwa(_gwa(), path)
+        content = path.read_text()
+        assert content.startswith("#")
+
+    def test_short_line_rejected(self, tmp_path):
+        path = tmp_path / "bad.gwa"
+        path.write_text("1 2 3\n")
+        with pytest.raises(ValueError, match="fields"):
+            read_gwa(path)
+
+    def test_wrong_schema_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="schema"):
+            write_gwa(Table({"a": [1.0]}), tmp_path / "x.gwa")
+
+
+class TestSwfRoundTrip:
+    def test_roundtrip(self, tmp_path):
+        t = swf_table(
+            submit_time=np.array([5.0, 15.0]),
+            run_time=np.array([50.0, 60.0]),
+            num_procs=np.array([8, 16]),
+        )
+        path = tmp_path / "trace.swf"
+        write_swf(t, path, header="Computer: Test cluster")
+        back = read_swf(path)
+        assert set(back.column_names) == set(SWF_JOB_SCHEMA)
+        np.testing.assert_allclose(back["run_time"], [50.0, 60.0])
+        np.testing.assert_allclose(back["num_procs"], [8, 16])
+        assert "Test cluster" in path.read_text()
+
+    def test_swf_ids_one_based(self):
+        t = swf_table(submit_time=np.array([0.0]))
+        assert t["job_id"][0] == 1
+
+    def test_short_line_rejected(self, tmp_path):
+        path = tmp_path / "bad.swf"
+        path.write_text("1 2 3 4\n")
+        with pytest.raises(ValueError, match="fields"):
+            read_swf(path)
+
+    def test_unknown_column_rejected(self):
+        with pytest.raises(ValueError, match="unknown"):
+            swf_table(nope=np.array([1.0]))
+
+
+class TestCsvRoundTrip:
+    def test_roundtrip(self, tmp_path):
+        t = Table({"x": np.array([1.5, 2.5]), "y": np.array([1.0, 2.0])})
+        path = tmp_path / "t.csv"
+        write_csv(t, path)
+        back = read_csv(path)
+        np.testing.assert_allclose(back["x"], t["x"])
+
+    def test_gzip_roundtrip(self, tmp_path):
+        t = Table({"x": np.arange(100, dtype=float)})
+        path = tmp_path / "t.csv.gz"
+        write_csv(t, path)
+        back = read_csv(path)
+        np.testing.assert_allclose(back["x"], t["x"])
+
+    def test_empty_table_roundtrip(self, tmp_path):
+        t = Table({"x": np.empty(0), "y": np.empty(0)})
+        path = tmp_path / "e.csv"
+        write_csv(t, path)
+        back = read_csv(path)
+        assert len(back) == 0
+        assert set(back.column_names) == {"x", "y"}
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "none.csv"
+        path.write_text("")
+        with pytest.raises(ValueError, match="empty"):
+            read_csv(path)
+
+
+class TestTracePersistence:
+    def test_save_load(self, tmp_path):
+        trace = generate_google_trace(
+            horizon=3 * 3600.0,
+            num_machines=5,
+            seed=0,
+            tasks_per_hour=60.0,
+            config=GoogleConfig(busy_window=None),
+        )
+        save_trace(trace, tmp_path / "trace")
+        back = load_trace(tmp_path / "trace")
+        assert back.horizon == trace.horizon
+        assert back.jobs == trace.jobs
+        assert back.task_events == trace.task_events
+        assert back.task_usage == trace.task_usage
+        assert back.machines == trace.machines
