@@ -1,0 +1,14 @@
+"""Built-in reprolint checkers.
+
+Importing this package registers every checker with
+:mod:`repro.analysis.registry`; add new rules by creating a module here
+that applies the :func:`~repro.analysis.registry.register` decorator.
+"""
+
+from . import (  # noqa: F401
+    layering,
+    registry_complete,
+    rng,
+    schema_columns,
+    wallclock,
+)

@@ -1,0 +1,86 @@
+"""Shared AST helpers: import alias tracking and name resolution."""
+
+from __future__ import annotations
+
+import ast
+
+__all__ = ["ImportMap", "build_import_map", "qualified_name"]
+
+
+class ImportMap:
+    """Maps local names to the fully-qualified names they were imported as.
+
+    Only names introduced by imports resolve; plain local variables do
+    not, which keeps resolution conservative (no false positives from a
+    local variable that happens to be called ``time``).
+    """
+
+    def __init__(self, aliases: dict[str, str]) -> None:
+        self.aliases = aliases
+
+    def resolve(self, node: ast.expr) -> str | None:
+        """Fully-qualified dotted name of an expression, if import-rooted."""
+        if isinstance(node, ast.Name):
+            return self.aliases.get(node.id)
+        if isinstance(node, ast.Attribute):
+            base = self.resolve(node.value)
+            if base is None:
+                return None
+            return f"{base}.{node.attr}"
+        return None
+
+
+def build_import_map(
+    tree: ast.Module, module: str | None = None, is_package: bool = False
+) -> ImportMap:
+    """Collect import aliases from every import statement in the file.
+
+    ``module`` (the file's dotted name) resolves relative imports; when
+    unknown, relative imports are recorded with a leading ``.``.
+    """
+    aliases: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.asname:
+                    aliases[alias.asname] = alias.name
+                else:
+                    # ``import a.b.c`` binds the top-level name ``a``.
+                    top = alias.name.split(".")[0]
+                    aliases[top] = top
+        elif isinstance(node, ast.ImportFrom):
+            base = resolve_from_module(node, module, is_package)
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                local = alias.asname or alias.name
+                aliases[local] = f"{base}.{alias.name}" if base else alias.name
+    return ImportMap(aliases)
+
+
+def resolve_from_module(
+    node: ast.ImportFrom, module: str | None, is_package: bool = False
+) -> str:
+    """Absolute module a ``from X import ...`` statement refers to."""
+    if node.level == 0:
+        return node.module or ""
+    if module is None:
+        return "." * node.level + (node.module or "")
+    # Level 1 anchors at the containing package; each further level goes
+    # one package up. A package's ``__init__`` is its own anchor.
+    parts = module.split(".") if is_package else module.split(".")[:-1]
+    ascend = node.level - 1
+    anchor = parts[: len(parts) - ascend] if ascend else parts
+    if node.module:
+        anchor = anchor + [node.module]
+    return ".".join(anchor)
+
+
+def qualified_name(node: ast.expr) -> str | None:
+    """Dotted source text of a Name/Attribute chain (no alias resolution)."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        base = qualified_name(node.value)
+        return f"{base}.{node.attr}" if base else None
+    return None

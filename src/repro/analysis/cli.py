@@ -1,0 +1,87 @@
+"""``repro-lint`` — the project's static-analysis gate.
+
+Usage::
+
+    repro-lint src                 # lint the tree, exit 1 on findings
+    repro-lint --format json src   # machine-readable output
+    repro-lint --list-rules        # rule catalog
+
+Suppress a finding in place with ``# reprolint: disable=REP101`` (or
+``disable=all``) on the offending line; configure rule sets and excludes
+under ``[tool.reprolint]`` in ``pyproject.toml``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from .engine import lint_paths
+from .registry import iter_rules
+from .reporters import render_json, render_text
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description=(
+            "AST-based lint pass enforcing the reproduction's determinism, "
+            "schema and layering invariants"
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--root",
+        default=None,
+        help=(
+            "project root holding pyproject.toml (default: discovered from "
+            "the first path)"
+        ),
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--quiet",
+        action="store_true",
+        help="omit fix hints from text output",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog and exit",
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.list_rules:
+        for rule in iter_rules():
+            print(f"{rule.id}  {rule.name}: {rule.summary}")
+        return 0
+    try:
+        run = lint_paths(args.paths, root=args.root)
+    except (OSError, ValueError) as exc:
+        print(f"repro-lint: error: {exc}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(render_json(run))
+    else:
+        print(render_text(run, verbose=not args.quiet))
+    return run.exit_code
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,227 @@
+"""reprolint configuration: the ``[tool.reprolint]`` pyproject section.
+
+Parsed with :mod:`tomllib` when available (Python >= 3.11); on 3.10 a
+minimal built-in reader extracts just the ``[tool.reprolint*]`` sections
+so the tool has no third-party dependency.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from fnmatch import fnmatch
+from pathlib import Path
+
+__all__ = ["LintConfig", "load_config", "DEFAULT_LAYERS"]
+
+#: Default layer ranks for the repro package. A module in layer L may
+#: only import layers of strictly lower rank (or its own layer).
+DEFAULT_LAYERS: dict[str, int] = {
+    "core": 0,
+    "traces": 1,
+    "synth": 2,
+    "hostload": 2,
+    "prediction": 2,
+    "sim": 3,
+    "apps": 3,
+    "experiments": 4,
+    "analysis": 5,
+}
+
+#: Modules under the experiments package that are infrastructure, not
+#: experiments, and therefore exempt from registry-completeness checks.
+DEFAULT_NON_EXPERIMENT_MODULES = (
+    "__init__",
+    "base",
+    "datasets",
+    "registry",
+    "runner",
+)
+
+
+@dataclass
+class LintConfig:
+    """Resolved reprolint settings."""
+
+    #: Rule ids to run; empty means "all registered rules".
+    enable: tuple[str, ...] = ()
+    #: Glob patterns (matched against project-relative posix paths) that
+    #: are skipped entirely.
+    exclude: tuple[str, ...] = ("*.egg-info/*", "*__pycache__*")
+    #: Per-rule glob excludes: rule id -> patterns.
+    per_rule_excludes: dict[str, tuple[str, ...]] = field(default_factory=dict)
+    #: Layer name -> rank for the layering rule.
+    layers: dict[str, int] = field(default_factory=lambda: dict(DEFAULT_LAYERS))
+    #: Root package whose first sub-package names the layer.
+    package: str = "repro"
+    #: Source roots (project-relative) used to derive module names.
+    src_roots: tuple[str, ...] = ("src",)
+    #: Project-relative path of the schema module defining ``*_SCHEMA``.
+    schema_module: str = "src/repro/traces/schema.py"
+    #: Project-relative path of the experiments package.
+    experiments_package: str = "src/repro/experiments"
+    #: Project-relative directory of benchmark reference outputs.
+    results_dir: str = "benchmarks/results"
+    #: Experiments-package modules exempt from registry completeness.
+    non_experiment_modules: tuple[str, ...] = DEFAULT_NON_EXPERIMENT_MODULES
+    #: Extra column names accepted by the schema-contract rule.
+    extra_table_columns: tuple[str, ...] = ()
+    #: Extra metrics keys accepted by the schema-contract rule.
+    extra_metrics_keys: tuple[str, ...] = ()
+
+    def rule_enabled(self, rule_id: str) -> bool:
+        return not self.enable or rule_id in self.enable
+
+    def path_excluded(self, relpath: str) -> bool:
+        return any(fnmatch(relpath, pat) for pat in self.exclude)
+
+    def rule_excluded(self, rule_id: str, relpath: str) -> bool:
+        pats = self.per_rule_excludes.get(rule_id, ())
+        return any(fnmatch(relpath, pat) for pat in pats)
+
+
+def _norm_key(key: str) -> str:
+    return key.strip().replace("-", "_")
+
+
+def _coerce_str_tuple(value: object) -> tuple[str, ...]:
+    if isinstance(value, (list, tuple)):
+        return tuple(str(v) for v in value)
+    if isinstance(value, str):
+        return (value,)
+    return ()
+
+
+def _config_from_mapping(section: dict[str, object]) -> LintConfig:
+    cfg = LintConfig()
+    data = {_norm_key(k): v for k, v in section.items()}
+    for key in (
+        "enable",
+        "exclude",
+        "src_roots",
+        "non_experiment_modules",
+        "extra_table_columns",
+        "extra_metrics_keys",
+    ):
+        if key in data:
+            setattr(cfg, key, _coerce_str_tuple(data[key]))
+    for key in ("package", "schema_module", "experiments_package", "results_dir"):
+        if key in data:
+            setattr(cfg, key, str(data[key]))
+    if isinstance(data.get("per_rule_excludes"), dict):
+        cfg.per_rule_excludes = {
+            str(rule): _coerce_str_tuple(pats)
+            for rule, pats in data["per_rule_excludes"].items()
+        }
+    if isinstance(data.get("layers"), dict):
+        cfg.layers = {
+            str(name): int(rank) for name, rank in data["layers"].items()
+        }
+    return cfg
+
+
+def load_config(project_root: Path) -> LintConfig:
+    """Load ``[tool.reprolint]`` from ``<root>/pyproject.toml``."""
+    pyproject = project_root / "pyproject.toml"
+    if not pyproject.is_file():
+        return LintConfig()
+    section = _read_tool_section(pyproject)
+    if section is None:
+        return LintConfig()
+    return _config_from_mapping(section)
+
+
+def _read_tool_section(pyproject: Path) -> dict[str, object] | None:
+    text = pyproject.read_text(encoding="utf-8")
+    try:
+        import tomllib
+    except ModuleNotFoundError:  # Python 3.10: minimal fallback below.
+        return _fallback_parse(text)
+    data = tomllib.loads(text)
+    tool = data.get("tool", {})
+    section = tool.get("reprolint")
+    return section if isinstance(section, dict) else None
+
+
+# -- minimal TOML subset reader (sections, strings, ints, bools, ------------
+# -- single-line string arrays) for interpreters without tomllib ------------
+
+_SECTION_RE = re.compile(r"^\[(?P<name>[^\]]+)\]\s*$")
+_KV_RE = re.compile(r"^(?P<key>[A-Za-z0-9_\-]+)\s*=\s*(?P<value>.+?)\s*$")
+
+
+def _parse_scalar(raw: str) -> object:
+    raw = raw.strip()
+    if raw.startswith("[") and raw.endswith("]"):
+        inner = raw[1:-1].strip()
+        if not inner:
+            return []
+        return [_parse_scalar(part) for part in _split_array(inner)]
+    if raw.startswith(('"', "'")) and raw.endswith(raw[0]) and len(raw) >= 2:
+        return raw[1:-1]
+    if raw in ("true", "false"):
+        return raw == "true"
+    try:
+        return int(raw)
+    except ValueError:
+        return raw
+
+
+def _split_array(inner: str) -> list[str]:
+    parts: list[str] = []
+    depth = 0
+    quote: str | None = None
+    current = ""
+    for ch in inner:
+        if quote:
+            current += ch
+            if ch == quote:
+                quote = None
+            continue
+        if ch in "\"'":
+            quote = ch
+            current += ch
+        elif ch == "[":
+            depth += 1
+            current += ch
+        elif ch == "]":
+            depth -= 1
+            current += ch
+        elif ch == "," and depth == 0:
+            parts.append(current)
+            current = ""
+        else:
+            current += ch
+    if current.strip():
+        parts.append(current)
+    return parts
+
+
+def _fallback_parse(text: str) -> dict[str, object] | None:
+    """Extract ``[tool.reprolint]`` and its subtables without tomllib."""
+    section: dict[str, object] | None = None
+    current: dict[str, object] | None = None
+    for line in text.splitlines():
+        stripped = line.strip()
+        if not stripped or stripped.startswith("#"):
+            continue
+        match = _SECTION_RE.match(stripped)
+        if match:
+            name = match.group("name").strip()
+            if name == "tool.reprolint":
+                section = section or {}
+                current = section
+            elif name.startswith("tool.reprolint."):
+                section = section or {}
+                sub: dict[str, object] = {}
+                section[name[len("tool.reprolint.") :]] = sub
+                current = sub
+            else:
+                current = None
+            continue
+        if current is None:
+            continue
+        kv = _KV_RE.match(stripped)
+        if kv:
+            current[kv.group("key")] = _parse_scalar(kv.group("value"))
+    return section

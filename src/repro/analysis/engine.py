@@ -1,0 +1,210 @@
+"""reprolint engine: file discovery, AST parsing, suppression, dispatch."""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass, field
+from pathlib import Path, PurePosixPath
+
+from .config import LintConfig
+from .diagnostics import Diagnostic, DiagnosticSink, Severity, sort_key
+from .project import ProjectContext, build_project_context, find_project_root
+from .registry import Checker, all_checkers
+
+__all__ = ["FileContext", "lint_paths", "LintRun"]
+
+_SUPPRESS_RE = re.compile(r"#\s*reprolint:\s*disable=([A-Za-z0-9_,\- ]+)")
+
+#: Path fragments that mark a file as test/benchmark code; RNG and
+#: wall-clock rules do not apply there.
+_TEST_MARKERS = ("tests/", "benchmarks/", "conftest", "test_")
+
+
+@dataclass
+class FileContext:
+    """Everything a checker may consult about the file under analysis."""
+
+    path: Path
+    relpath: str  # project-relative posix path
+    source: str
+    tree: ast.Module
+    project: ProjectContext
+    module: str | None = None  # dotted module name, when resolvable
+    is_package: bool = False  # true for package __init__ files
+    is_test: bool = False
+
+    @property
+    def config(self) -> LintConfig:
+        return self.project.config
+
+
+@dataclass
+class LintRun:
+    """Outcome of one lint invocation."""
+
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+    files_checked: int = 0
+    parse_errors: list[Diagnostic] = field(default_factory=list)
+
+    @property
+    def all_diagnostics(self) -> list[Diagnostic]:
+        return sorted(self.diagnostics + self.parse_errors, key=sort_key)
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if any(
+            d.severity >= Severity.ERROR for d in self.all_diagnostics
+        ) else 0
+
+
+def _suppressions(source: str) -> dict[int, set[str]]:
+    """Map line number -> rule ids disabled on that line.
+
+    Uses the tokenizer so string literals that merely *contain* the
+    marker do not suppress anything; falls back to a per-line regex scan
+    if the file does not tokenize.
+    """
+    table: dict[int, set[str]] = {}
+
+    def record(line: int, spec: str) -> None:
+        rules = {part.strip() for part in spec.split(",") if part.strip()}
+        if rules:
+            table.setdefault(line, set()).update(rules)
+
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for tok in tokens:
+            if tok.type == tokenize.COMMENT:
+                match = _SUPPRESS_RE.search(tok.string)
+                if match:
+                    record(tok.start[0], match.group(1))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        for lineno, line in enumerate(source.splitlines(), start=1):
+            match = _SUPPRESS_RE.search(line)
+            if match:
+                record(lineno, match.group(1))
+    return table
+
+
+def _module_name(relpath: str, config: LintConfig) -> str | None:
+    """Derive ``repro.core.fit`` from ``src/repro/core/fit.py``."""
+    parts = PurePosixPath(relpath).with_suffix("").parts
+    for src_root in config.src_roots:
+        root_parts = PurePosixPath(src_root).parts
+        if parts[: len(root_parts)] == root_parts:
+            mod_parts = parts[len(root_parts) :]
+            if mod_parts and mod_parts[-1] == "__init__":
+                mod_parts = mod_parts[:-1]
+            return ".".join(mod_parts) if mod_parts else None
+    return None
+
+
+def _is_test_path(relpath: str) -> bool:
+    name = PurePosixPath(relpath).name
+    return (
+        relpath.startswith(("tests/", "benchmarks/"))
+        or "/tests/" in relpath
+        or "/benchmarks/" in relpath
+        or name.startswith(("test_", "conftest"))
+    )
+
+
+def _collect_files(paths: Sequence[Path], config: LintConfig, root: Path) -> list[Path]:
+    files: list[Path] = []
+    seen: set[Path] = set()
+    for path in paths:
+        candidates: Iterable[Path]
+        if path.is_dir():
+            candidates = sorted(path.rglob("*.py"))
+        else:
+            candidates = [path]
+        for candidate in candidates:
+            resolved = candidate.resolve()
+            if resolved in seen:
+                continue
+            seen.add(resolved)
+            relpath = _relpath(resolved, root)
+            if config.path_excluded(relpath):
+                continue
+            files.append(resolved)
+    return files
+
+
+def _relpath(path: Path, root: Path) -> str:
+    try:
+        return path.resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def lint_paths(
+    paths: Sequence[str | Path],
+    root: str | Path | None = None,
+    checkers: Sequence[Checker] | None = None,
+    project: ProjectContext | None = None,
+) -> LintRun:
+    """Lint files/directories and return the collected diagnostics.
+
+    ``root`` defaults to the nearest ancestor of the first path that
+    contains a ``pyproject.toml`` (whose ``[tool.reprolint]`` section,
+    if any, configures the run).
+    """
+    resolved_paths = [Path(p) for p in paths]
+    if not resolved_paths:
+        raise ValueError("lint_paths requires at least one path")
+    root_path = (
+        Path(root).resolve()
+        if root is not None
+        else find_project_root(resolved_paths[0].resolve())
+    )
+    if project is None:
+        project = build_project_context(root_path)
+    config = project.config
+    active = [
+        checker
+        for checker in (checkers if checkers is not None else all_checkers())
+        if config.rule_enabled(checker.rule.id)
+    ]
+
+    run = LintRun()
+    for file_path in _collect_files(resolved_paths, config, root_path):
+        relpath = _relpath(file_path, root_path)
+        try:
+            source = file_path.read_text(encoding="utf-8")
+            tree = ast.parse(source, filename=str(file_path))
+        except (OSError, SyntaxError, UnicodeDecodeError) as exc:
+            run.parse_errors.append(
+                Diagnostic(
+                    path=relpath,
+                    line=getattr(exc, "lineno", None) or 1,
+                    col=0,
+                    rule_id="REP000",
+                    message=f"could not parse file: {exc}",
+                    hint="fix the syntax error or exclude the file",
+                )
+            )
+            continue
+        ctx = FileContext(
+            path=file_path,
+            relpath=relpath,
+            source=source,
+            tree=tree,
+            project=project,
+            module=_module_name(relpath, config),
+            is_package=PurePosixPath(relpath).name == "__init__.py",
+            is_test=_is_test_path(relpath),
+        )
+        sink = DiagnosticSink(suppressed=_suppressions(source))
+        for checker in active:
+            if config.rule_excluded(checker.rule.id, relpath):
+                continue
+            for diag in checker.check(ctx):
+                sink.emit(diag)
+        run.diagnostics.extend(sink.items)
+        run.files_checked += 1
+    run.diagnostics.sort(key=sort_key)
+    return run

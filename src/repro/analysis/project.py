@@ -1,0 +1,199 @@
+"""Project-wide facts shared by all checkers.
+
+Everything here is extracted *statically* (via :mod:`ast`) from the
+source tree — the linter never imports the code it checks, so it works
+on broken trees and costs nothing at runtime.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from fnmatch import fnmatch
+from pathlib import Path
+
+from .config import LintConfig, load_config
+
+__all__ = ["ProjectContext", "build_project_context", "find_project_root"]
+
+
+def find_project_root(start: Path) -> Path:
+    """Walk up from ``start`` to the directory holding ``pyproject.toml``."""
+    node = start if start.is_dir() else start.parent
+    for candidate in (node, *node.parents):
+        if (candidate / "pyproject.toml").is_file():
+            return candidate
+    return node
+
+
+@dataclass
+class ProjectContext:
+    """Facts about the project the per-file checkers resolve against."""
+
+    root: Path
+    config: LintConfig
+    #: Union of column names declared by every ``*_SCHEMA`` dict.
+    table_columns: frozenset[str] = frozenset()
+    #: Union of metrics keys written by any experiment module.
+    metrics_keys: frozenset[str] = frozenset()
+    #: Wildcard patterns from dynamically-built (f-string) metrics keys.
+    metrics_key_patterns: tuple[str, ...] = ()
+    #: Experiment ids (keys of the EXPERIMENTS registry dict).
+    experiment_ids: frozenset[str] = frozenset()
+    #: Experiment module names referenced by the registry.
+    registered_modules: frozenset[str] = frozenset()
+    warnings: list[str] = field(default_factory=list)
+
+    def is_known_metric(self, key: str) -> bool:
+        """True when some experiment writes ``key`` (exactly or via a
+        dynamic key whose constant parts match)."""
+        if key in self.metrics_keys:
+            return True
+        return any(fnmatch(key, pat) for pat in self.metrics_key_patterns)
+
+
+def _parse(path: Path) -> ast.Module | None:
+    try:
+        return ast.parse(path.read_text(encoding="utf-8"))
+    except (OSError, SyntaxError):
+        return None
+
+
+def _schema_columns(schema_path: Path) -> set[str]:
+    """Keys of every module-level ``<NAME>_SCHEMA = {...}`` dict literal."""
+    tree = _parse(schema_path)
+    if tree is None:
+        return set()
+    columns: set[str] = set()
+    for node in tree.body:
+        targets: list[ast.expr] = []
+        value: ast.expr | None = None
+        if isinstance(node, ast.Assign):
+            targets, value = node.targets, node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets, value = [node.target], node.value
+        if not isinstance(value, ast.Dict):
+            continue
+        named = any(
+            isinstance(t, ast.Name) and t.id.endswith("_SCHEMA") for t in targets
+        )
+        if not named:
+            continue
+        for key in value.keys:
+            if isinstance(key, ast.Constant) and isinstance(key.value, str):
+                columns.add(key.value)
+    return columns
+
+
+class _MetricsKeyCollector(ast.NodeVisitor):
+    """Collect every metrics key an experiments module *writes*.
+
+    Sources: dict literals passed as ``metrics=``, dict literals assigned
+    to a name called ``metrics``, and ``metrics["key"] = ...`` stores.
+    Keys built from f-strings become wildcard patterns (formatted fields
+    match anything, constant parts must match exactly); ``**{...}``
+    spreads of dict literals and comprehensions are followed.
+    """
+
+    def __init__(self) -> None:
+        self.keys: set[str] = set()
+        self.patterns: set[str] = set()
+
+    def _take_key(self, key: ast.expr | None) -> None:
+        if isinstance(key, ast.Constant) and isinstance(key.value, str):
+            self.keys.add(key.value)
+        elif isinstance(key, ast.JoinedStr):
+            parts: list[str] = []
+            for piece in key.values:
+                if isinstance(piece, ast.Constant):
+                    parts.append(str(piece.value))
+                else:  # FormattedValue -> wildcard
+                    parts.append("*")
+            self.patterns.add("".join(parts))
+
+    def _take_dict(self, node: ast.expr | None) -> None:
+        if isinstance(node, ast.Dict):
+            for key, value in zip(node.keys, node.values):
+                if key is None:  # ``**spread``
+                    self._take_dict(value)
+                else:
+                    self._take_key(key)
+        elif isinstance(node, ast.DictComp):
+            self._take_key(node.key)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        for kw in node.keywords:
+            if kw.arg == "metrics":
+                self._take_dict(kw.value)
+        self.generic_visit(node)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            if isinstance(target, ast.Name) and target.id == "metrics":
+                self._take_dict(node.value)
+            if (
+                isinstance(target, ast.Subscript)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "metrics"
+                and isinstance(target.slice, ast.Constant)
+                and isinstance(target.slice.value, str)
+            ):
+                self.keys.add(target.slice.value)
+        self.generic_visit(node)
+
+
+def _experiments_facts(
+    experiments_dir: Path,
+) -> tuple[set[str], set[str], set[str], set[str]]:
+    """Return (metrics_keys, key_patterns, experiment_ids, registered)."""
+    metrics_keys: set[str] = set()
+    key_patterns: set[str] = set()
+    experiment_ids: set[str] = set()
+    registered: set[str] = set()
+    if not experiments_dir.is_dir():
+        return metrics_keys, key_patterns, experiment_ids, registered
+    for path in sorted(experiments_dir.glob("*.py")):
+        tree = _parse(path)
+        if tree is None:
+            continue
+        collector = _MetricsKeyCollector()
+        collector.visit(tree)
+        metrics_keys |= collector.keys
+        key_patterns |= collector.patterns
+    registry = _parse(experiments_dir / "registry.py")
+    if registry is not None:
+        for node in ast.walk(registry):
+            if isinstance(node, ast.ImportFrom) and node.level == 1 and not node.module:
+                registered |= {alias.name for alias in node.names}
+        for node in registry.body:
+            value = node.value if isinstance(node, (ast.Assign, ast.AnnAssign)) else None
+            if isinstance(value, ast.Dict):
+                for key in value.keys:
+                    if isinstance(key, ast.Constant) and isinstance(key.value, str):
+                        experiment_ids.add(key.value)
+    return metrics_keys, key_patterns, experiment_ids, registered
+
+
+def build_project_context(
+    root: Path, config: LintConfig | None = None
+) -> ProjectContext:
+    config = config if config is not None else load_config(root)
+    ctx = ProjectContext(root=root, config=config)
+
+    schema_path = root / config.schema_module
+    columns = _schema_columns(schema_path)
+    if not columns:
+        ctx.warnings.append(
+            f"no *_SCHEMA dicts found at {config.schema_module}; "
+            "schema-contract checks are limited to locally-declared columns"
+        )
+    ctx.table_columns = frozenset(columns | set(config.extra_table_columns))
+
+    metrics_keys, key_patterns, experiment_ids, registered = _experiments_facts(
+        root / config.experiments_package
+    )
+    ctx.metrics_keys = frozenset(metrics_keys | set(config.extra_metrics_keys))
+    ctx.metrics_key_patterns = tuple(sorted(key_patterns))
+    ctx.experiment_ids = frozenset(experiment_ids)
+    ctx.registered_modules = frozenset(registered)
+    return ctx

@@ -1,0 +1,38 @@
+"""Diagnostic reporters: human-readable text and machine-readable JSON."""
+
+from __future__ import annotations
+
+import json
+
+from .engine import LintRun
+
+__all__ = ["render_text", "render_json"]
+
+
+def render_text(run: LintRun, verbose: bool = True) -> str:
+    """GCC-style ``file:line:col: RULE message`` lines plus a summary."""
+    lines: list[str] = []
+    for diag in run.all_diagnostics:
+        lines.append(
+            f"{diag.location}: {diag.rule_id} "
+            f"[{diag.severity.name.lower()}] {diag.message}"
+        )
+        if verbose and diag.hint:
+            lines.append(f"    hint: {diag.hint}")
+    count = len(run.all_diagnostics)
+    noun = "diagnostic" if count == 1 else "diagnostics"
+    files = "file" if run.files_checked == 1 else "files"
+    lines.append(
+        f"reprolint: {count} {noun} in {run.files_checked} {files}"
+        + ("" if count else " — clean")
+    )
+    return "\n".join(lines)
+
+
+def render_json(run: LintRun) -> str:
+    payload = {
+        "files_checked": run.files_checked,
+        "diagnostics": [d.to_dict() for d in run.all_diagnostics],
+        "exit_code": run.exit_code,
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

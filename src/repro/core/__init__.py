@@ -1,7 +1,22 @@
 """Statistical characterization toolkit — the paper's methodology."""
 
-from .compare import CloudGridComparison, SystemWorkload, compare_systems
+from .compare import (
+    CloudGridComparison,
+    SystemWorkload,
+    compare_systems,
+    job_interarrival_times,
+)
 from .distance import cdf_area_distance, ks_two_sample, stochastically_smaller
+from .distributions import (
+    BoundedPareto,
+    Deterministic,
+    Distribution,
+    Exponential,
+    HyperExponential,
+    LogNormal,
+    Mixture,
+    Uniform,
+)
 from .ecdf import ECDF, binned_pdf, ecdf, evaluate_cdf, histogram_counts, quantile
 from .fit import (
     CANDIDATE_FAMILIES,
@@ -40,12 +55,24 @@ from .segments import (
     usage_level_labels,
 )
 from .summary import SampleSummary, fraction_below, fraction_between, summarize
+from .table import Table, concat_tables
 from .usage import cpu_usage_eq4, memory_usage_mb
 
 __all__ = [
+    "BoundedPareto",
     "CANDIDATE_FAMILIES",
     "CloudGridComparison",
+    "Deterministic",
+    "Distribution",
+    "Exponential",
     "FittedModel",
+    "HyperExponential",
+    "LogNormal",
+    "Mixture",
+    "Table",
+    "Uniform",
+    "concat_tables",
+    "job_interarrival_times",
     "acf",
     "cdf_area_distance",
     "daily_profile_amplitude",

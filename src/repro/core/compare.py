@@ -14,12 +14,24 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..traces.convert import job_interarrival_times
-from ..traces.table import Table
 from .ecdf import ECDF, ecdf
 from .fairness import SubmissionRateStats, submission_rate_stats
+from .table import Table
 
-__all__ = ["SystemWorkload", "CloudGridComparison", "compare_systems"]
+__all__ = [
+    "SystemWorkload",
+    "CloudGridComparison",
+    "compare_systems",
+    "job_interarrival_times",
+]
+
+
+def job_interarrival_times(job_table: Table) -> np.ndarray:
+    """Sorted submission times -> consecutive interarrival gaps (Fig. 5)."""
+    submit = np.sort(np.asarray(job_table["submit_time"], dtype=np.float64))
+    if submit.size < 2:
+        return np.empty(0)
+    return np.diff(submit)
 
 
 @dataclass(frozen=True)

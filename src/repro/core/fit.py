@@ -5,8 +5,9 @@ as future work; this module provides it for the workload side: maximum-
 likelihood fits of the standard candidates (exponential, lognormal,
 Weibull, bounded Pareto), Kolmogorov-Smirnov goodness-of-fit, and
 AIC-based model selection. The fitted shapes can be fed straight back
-into :mod:`repro.synth.distributions` to close the loop between
-characterization and synthesis.
+into :mod:`repro.core.distributions` (the sampling toolkit used by
+:mod:`repro.synth`) to close the loop between characterization and
+synthesis.
 """
 
 from __future__ import annotations
@@ -16,7 +17,7 @@ from dataclasses import dataclass
 import numpy as np
 from scipy import optimize, stats
 
-from ..synth.distributions import (
+from .distributions import (
     BoundedPareto,
     Distribution,
     Exponential,
@@ -52,7 +53,7 @@ class FittedModel:
     ks:
         Kolmogorov-Smirnov distance between sample and fitted CDF.
     distribution:
-        Sampleable :class:`~repro.synth.distributions.Distribution`
+        Sampleable :class:`~repro.core.distributions.Distribution`
         equivalent, when the family maps onto the synthesis toolkit
         (None for Weibull).
     """

@@ -1,0 +1,175 @@
+"""Column-oriented table container backed by NumPy arrays.
+
+A :class:`Table` is a thin, schema-checked mapping from column name to a
+1-D NumPy array. All columns share the same length. The container is the
+common currency between the trace generators, the simulator, and the
+analysis code; keeping it columnar lets every analysis be a vectorized
+NumPy expression (see the hpc-parallel optimization guidance).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Mapping, Sequence
+
+import numpy as np
+
+__all__ = ["Table", "concat_tables"]
+
+
+class Table:
+    """Fixed-schema, column-oriented table.
+
+    Parameters
+    ----------
+    columns:
+        Mapping of column name to 1-D array-like. All columns must have
+        equal length.
+    schema:
+        Optional mapping of column name to NumPy dtype. When given, the
+        table must contain exactly the schema's columns and each column
+        is cast to the schema dtype.
+    """
+
+    __slots__ = ("_columns",)
+
+    def __init__(
+        self,
+        columns: Mapping[str, Sequence | np.ndarray],
+        schema: Mapping[str, np.dtype] | None = None,
+    ) -> None:
+        if schema is not None:
+            missing = set(schema) - set(columns)
+            extra = set(columns) - set(schema)
+            if missing or extra:
+                raise ValueError(
+                    f"columns do not match schema: missing={sorted(missing)}, "
+                    f"extra={sorted(extra)}"
+                )
+        data: dict[str, np.ndarray] = {}
+        for name, values in columns.items():
+            arr = np.asarray(values)
+            if schema is not None:
+                arr = arr.astype(schema[name], copy=False)
+            if arr.ndim != 1:
+                raise ValueError(f"column {name!r} must be 1-D, got ndim={arr.ndim}")
+            data[name] = arr
+        lengths = {name: len(arr) for name, arr in data.items()}
+        if len(set(lengths.values())) > 1:
+            raise ValueError(f"columns have unequal lengths: {lengths}")
+        self._columns = data
+
+    # -- basic container protocol ------------------------------------------
+
+    def __len__(self) -> int:
+        if not self._columns:
+            return 0
+        return len(next(iter(self._columns.values())))
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._columns
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._columns)
+
+    def __getitem__(self, name: str) -> np.ndarray:
+        return self._columns[name]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Table):
+            return NotImplemented
+        if set(self._columns) != set(other._columns):
+            return False
+        return all(
+            np.array_equal(self._columns[k], other._columns[k], equal_nan=True)
+            for k in self._columns
+        )
+
+    def __repr__(self) -> str:
+        cols = ", ".join(f"{k}:{v.dtype}" for k, v in self._columns.items())
+        return f"Table(rows={len(self)}, columns=[{cols}])"
+
+    # -- accessors -----------------------------------------------------------
+
+    @property
+    def column_names(self) -> tuple[str, ...]:
+        return tuple(self._columns)
+
+    @property
+    def num_rows(self) -> int:
+        return len(self)
+
+    def columns(self) -> dict[str, np.ndarray]:
+        """Return a shallow copy of the column mapping."""
+        return dict(self._columns)
+
+    def row(self, index: int) -> dict[str, object]:
+        """Return one row as a plain dict (scalar values)."""
+        return {name: arr[index].item() for name, arr in self._columns.items()}
+
+    # -- transformations ------------------------------------------------------
+
+    def select(self, mask_or_indices: np.ndarray) -> "Table":
+        """Row subset by boolean mask or integer index array."""
+        sel = np.asarray(mask_or_indices)
+        return Table({name: arr[sel] for name, arr in self._columns.items()})
+
+    def sort_by(self, *names: str) -> "Table":
+        """Stable sort by the given columns (first name is primary key)."""
+        if not names:
+            raise ValueError("sort_by requires at least one column name")
+        order = np.lexsort([self._columns[name] for name in reversed(names)])
+        return self.select(order)
+
+    def with_columns(self, **new_columns: np.ndarray) -> "Table":
+        """Return a new table with columns added or replaced."""
+        merged = dict(self._columns)
+        for name, values in new_columns.items():
+            arr = np.asarray(values)
+            merged[name] = arr
+        return Table(merged)
+
+    def drop(self, *names: str) -> "Table":
+        """Return a new table without the given columns."""
+        unknown = set(names) - set(self._columns)
+        if unknown:
+            raise KeyError(f"unknown columns: {sorted(unknown)}")
+        return Table({k: v for k, v in self._columns.items() if k not in names})
+
+    def head(self, n: int = 5) -> "Table":
+        return self.select(np.arange(min(n, len(self))))
+
+    # -- grouping -------------------------------------------------------------
+
+    def group_indices(self, key: str) -> dict[object, np.ndarray]:
+        """Map each distinct key value to the row indices holding it.
+
+        Implemented with a single argsort, so grouping 25M rows stays
+        O(n log n) with no Python-level per-row work.
+        """
+        keys = self._columns[key]
+        if len(keys) == 0:
+            return {}
+        order = np.argsort(keys, kind="stable")
+        sorted_keys = keys[order]
+        boundaries = np.flatnonzero(sorted_keys[1:] != sorted_keys[:-1]) + 1
+        starts = np.concatenate(([0], boundaries))
+        ends = np.concatenate((boundaries, [len(keys)]))
+        return {
+            sorted_keys[s].item(): order[s:e] for s, e in zip(starts, ends)
+        }
+
+
+def concat_tables(tables: Sequence[Table]) -> Table:
+    """Concatenate tables with identical column sets (row-wise)."""
+    if not tables:
+        raise ValueError("concat_tables requires at least one table")
+    names = set(tables[0].column_names)
+    for t in tables[1:]:
+        if set(t.column_names) != names:
+            raise ValueError("all tables must share the same columns")
+    return Table(
+        {
+            name: np.concatenate([t[name] for t in tables])
+            for name in tables[0].column_names
+        }
+    )

@@ -91,11 +91,23 @@ def generate_grid_jobs(
 def generate_all_grids(
     horizon: float, seed: int = 0, systems: list[str] | None = None
 ) -> dict[str, Table]:
-    """Generate every (or the named) grid systems with decorrelated seeds."""
+    """Generate every (or the named) grid systems with decorrelated seeds.
+
+    Each system draws from its own child stream spawned off a single
+    :class:`~numpy.random.SeedSequence`, keyed by the system name, so a
+    system's trace depends only on ``(seed, name)`` — not on which other
+    systems were requested or on their order.
+    """
     names = systems if systems is not None else sorted(GRID_PRESETS)
-    root = np.random.default_rng(seed)
+    catalog = sorted(GRID_PRESETS)
     out: dict[str, Table] = {}
     for name in names:
-        child = np.random.default_rng(root.integers(0, 2**63))
-        out[name] = generate_grid_jobs(grid_preset(name), horizon, child)
+        preset = grid_preset(name)
+        # Stable per-name key: the preset's position in the full catalog.
+        child_seq = np.random.SeedSequence(
+            entropy=seed, spawn_key=(catalog.index(name),)
+        )
+        out[name] = generate_grid_jobs(
+            preset, horizon, np.random.default_rng(child_seq)
+        )
     return out

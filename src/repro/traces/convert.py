@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..core.compare import job_interarrival_times
 from .schema import GWA_JOB_SCHEMA, JOB_TABLE_SCHEMA, SWF_JOB_SCHEMA
 from .table import Table
 
@@ -67,11 +68,3 @@ def grid_jobs_to_job_table(
         },
         schema=JOB_TABLE_SCHEMA,
     )
-
-
-def job_interarrival_times(job_table: Table) -> np.ndarray:
-    """Sorted submission times -> consecutive interarrival gaps (Fig. 5)."""
-    submit = np.sort(np.asarray(job_table["submit_time"], dtype=np.float64))
-    if submit.size < 2:
-        return np.empty(0)
-    return np.diff(submit)
