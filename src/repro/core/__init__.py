@@ -6,6 +6,7 @@ from .compare import (
     compare_systems,
     job_interarrival_times,
 )
+from .diskcache import MISS, CacheStats, DiskCache, cache_key, fingerprint
 from .distance import cdf_area_distance, ks_two_sample, stochastically_smaller
 from .distributions import (
     BoundedPareto,
@@ -56,21 +57,29 @@ from .segments import (
 )
 from .summary import SampleSummary, fraction_below, fraction_between, summarize
 from .table import Table, concat_tables
+from .timing import StageStats, Timings, render_timings
 from .usage import cpu_usage_eq4, memory_usage_mb
 
 __all__ = [
     "BoundedPareto",
     "CANDIDATE_FAMILIES",
+    "CacheStats",
     "CloudGridComparison",
     "Deterministic",
+    "DiskCache",
     "Distribution",
     "Exponential",
     "FittedModel",
     "HyperExponential",
     "LogNormal",
+    "MISS",
     "Mixture",
+    "StageStats",
     "Table",
+    "Timings",
     "Uniform",
+    "cache_key",
+    "fingerprint",
     "concat_tables",
     "job_interarrival_times",
     "acf",
@@ -120,6 +129,7 @@ __all__ = [
     "quantile",
     "render_kv",
     "render_table",
+    "render_timings",
     "submission_rate_stats",
     "summarize",
     "usage_level_labels",

@@ -1,0 +1,400 @@
+"""Content-addressed on-disk cache for derived dataset artifacts.
+
+Every experiment run regenerates the same synthetic traces and
+simulated months from scratch; at paper scale that costs tens of
+seconds per process. Because every builder is a pure function of
+``(scale, seed, config)`` — the determinism the REP101/REP501 lint
+rules guarantee — the results can be cached on disk under a key
+derived from exactly those inputs plus a code/schema version, and a
+warm cache is always safe to reuse.
+
+Storage layout (one directory per entry, content-addressed)::
+
+    <root>/<key[:2]>/<key>/
+        skeleton.pkl   object tree with arrays replaced by references
+        data.npz       the referenced NumPy arrays (compressed)
+        meta.json      key + payload size, for inspection/eviction
+
+Entries are written into a temp directory and renamed into place, so
+readers never observe a half-written entry. Reads refresh the entry's
+mtime; eviction drops the least-recently-used entries once the cache
+exceeds its entry or byte budget. A corrupted entry (truncated file,
+unpicklable skeleton) is deleted and reported as a miss, so the caller
+transparently rebuilds it.
+
+The codec is structural, not type-specific: it walks dataclasses,
+dicts, lists/tuples and :class:`~repro.core.table.Table` instances,
+extracting every NumPy array into one ``npz`` payload and pickling the
+remaining skeleton. That covers ``Table``, ``SimResult``,
+``MachineLoadSeries`` and the dataset containers without this layer-0
+module importing anything above ``core``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import pickle
+import shutil
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from .table import Table
+
+__all__ = ["MISS", "CacheStats", "DiskCache", "cache_key", "fingerprint"]
+
+
+class _Miss:
+    """Sentinel distinguishing 'not cached' from a cached ``None``."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "MISS"
+
+
+MISS = _Miss()
+
+
+# -- keys ---------------------------------------------------------------------
+
+
+def _canonical(obj: object) -> object:
+    """Reduce an object to a JSON-stable structure for hashing."""
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {
+            "__dataclass__": type(obj).__qualname__,
+            "fields": {
+                f.name: _canonical(getattr(obj, f.name))
+                for f in dataclasses.fields(obj)
+            },
+        }
+    if isinstance(obj, dict):
+        return {
+            "__dict__": [
+                [_canonical(k), _canonical(v)]
+                for k, v in sorted(obj.items(), key=lambda kv: repr(kv[0]))
+            ]
+        }
+    if isinstance(obj, (list, tuple)):
+        return [_canonical(v) for v in obj]
+    if isinstance(obj, np.ndarray):
+        digest = hashlib.sha256(np.ascontiguousarray(obj).tobytes())
+        return {
+            "__ndarray__": digest.hexdigest(),
+            "dtype": str(obj.dtype),
+            "shape": list(obj.shape),
+        }
+    if isinstance(obj, (np.integer, np.floating, np.bool_)):
+        return obj.item()
+    if isinstance(obj, float):
+        return repr(obj)  # full precision, unlike JSON's default
+    if obj is None or isinstance(obj, (bool, int, str)):
+        return obj
+    if callable(obj) and hasattr(obj, "__qualname__"):
+        return f"callable:{getattr(obj, '__module__', '?')}.{obj.__qualname__}"
+    # Plain objects (e.g. non-dataclass Distributions): hash by type
+    # plus attribute state — default reprs embed memory addresses.
+    state = getattr(obj, "__dict__", None)
+    if state is None and hasattr(type(obj), "__slots__"):
+        state = {
+            name: getattr(obj, name)
+            for name in type(obj).__slots__
+            if hasattr(obj, name)
+        }
+    if isinstance(state, dict) and state:
+        return {
+            "__object__": type(obj).__qualname__,
+            "state": {k: _canonical(v) for k, v in sorted(state.items())},
+        }
+    return repr(obj)
+
+
+def fingerprint(obj: object) -> str:
+    """Short stable digest of a configuration object.
+
+    Dataclasses hash by field values (recursively), so any change to a
+    model knob — including nested distribution parameters — changes the
+    fingerprint and therefore misses the cache.
+    """
+    payload = json.dumps(_canonical(obj), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+def cache_key(**components: object) -> str:
+    """Content-addressed key from named components.
+
+    Components typically include the dataset kind, scale, seed, config
+    fingerprint and a code/schema version; any difference in any
+    component yields a different key.
+    """
+    if not components:
+        raise ValueError("cache_key requires at least one component")
+    return hashlib.sha256(
+        json.dumps(
+            {k: _canonical(v) for k, v in components.items()},
+            sort_keys=True,
+            separators=(",", ":"),
+        ).encode("utf-8")
+    ).hexdigest()
+
+
+# -- structural codec ---------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _ArrayRef:
+    """Placeholder for an array stored in the entry's npz payload."""
+
+    index: int
+
+
+@dataclass(frozen=True)
+class _TableRef:
+    """Placeholder for a Table; columns reference npz arrays."""
+
+    columns: tuple[tuple[str, "_ArrayRef"], ...]
+
+
+@dataclass(frozen=True)
+class _ObjRef:
+    """Placeholder for a dataclass instance, rebuilt via its __init__."""
+
+    cls: type
+    state: tuple[tuple[str, object], ...]
+
+
+def _encode(obj: object, arrays: list[np.ndarray]) -> object:
+    """Replace arrays/Tables/dataclasses with references, recursively."""
+    if isinstance(obj, np.ndarray):
+        if obj.dtype == object:
+            return obj  # rare; stays in the pickled skeleton
+        arrays.append(obj)
+        return _ArrayRef(len(arrays) - 1)
+    if isinstance(obj, Table):
+        return _TableRef(
+            tuple(
+                (name, _encode(obj[name], arrays))
+                for name in obj.column_names
+            )
+        )
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return _ObjRef(
+            cls=type(obj),
+            state=tuple(
+                (f.name, _encode(getattr(obj, f.name), arrays))
+                for f in dataclasses.fields(obj)
+                if f.init
+            ),
+        )
+    if isinstance(obj, dict):
+        return {k: _encode(v, arrays) for k, v in obj.items()}
+    if isinstance(obj, tuple):
+        return tuple(_encode(v, arrays) for v in obj)
+    if isinstance(obj, list):
+        return [_encode(v, arrays) for v in obj]
+    return obj
+
+
+def _decode(obj: object, arrays: dict[str, np.ndarray]) -> object:
+    """Inverse of :func:`_encode`."""
+    if isinstance(obj, _ArrayRef):
+        return arrays[f"a{obj.index}"]
+    if isinstance(obj, _TableRef):
+        return Table({name: _decode(ref, arrays) for name, ref in obj.columns})
+    if isinstance(obj, _ObjRef):
+        return obj.cls(**{name: _decode(v, arrays) for name, v in obj.state})
+    if isinstance(obj, dict):
+        return {k: _decode(v, arrays) for k, v in obj.items()}
+    if isinstance(obj, tuple):
+        return tuple(_decode(v, arrays) for v in obj)
+    if isinstance(obj, list):
+        return [_decode(v, arrays) for v in obj]
+    return obj
+
+
+# -- the cache ----------------------------------------------------------------
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/put counters for one cache instance."""
+
+    hits: int = 0
+    misses: int = 0
+    puts: int = 0
+    evictions: int = 0
+    errors: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "puts": self.puts,
+            "evictions": self.evictions,
+            "errors": self.errors,
+        }
+
+    def snapshot(self) -> "CacheStats":
+        return CacheStats(**self.as_dict())
+
+    def delta(self, since: "CacheStats") -> dict[str, int]:
+        """Counter increments since an earlier snapshot."""
+        now = self.as_dict()
+        then = since.as_dict()
+        return {k: now[k] - then[k] for k in now}
+
+
+_SKELETON = "skeleton.pkl"
+_PAYLOAD = "data.npz"
+_META = "meta.json"
+
+
+class DiskCache:
+    """LRU-evicting, atomically-written object cache on the filesystem.
+
+    Parameters
+    ----------
+    root:
+        Cache directory (created on first use).
+    max_bytes:
+        Byte budget across all entries; least-recently-used entries are
+        evicted once exceeded. ``None`` disables the byte limit.
+    max_entries:
+        Entry-count budget, enforced the same way.
+    """
+
+    def __init__(
+        self,
+        root: str | Path,
+        max_bytes: int | None = 4 * 1024**3,
+        max_entries: int | None = 64,
+    ) -> None:
+        self.root = Path(root)
+        self.max_bytes = max_bytes
+        self.max_entries = max_entries
+        self.stats = CacheStats()
+
+    # -- public API -----------------------------------------------------------
+
+    def get(self, key: str) -> object:
+        """Return the cached object, or :data:`MISS`.
+
+        Unreadable entries (truncated payload, bad pickle) are deleted
+        and reported as a miss so callers rebuild them.
+        """
+        entry = self._entry_dir(key)
+        if not (entry / _SKELETON).exists():
+            self.stats.misses += 1
+            return MISS
+        try:
+            with open(entry / _SKELETON, "rb") as fh:
+                skeleton = pickle.load(fh)
+            arrays: dict[str, np.ndarray] = {}
+            payload = entry / _PAYLOAD
+            if payload.exists():
+                with np.load(payload, allow_pickle=False) as npz:
+                    arrays = {name: npz[name] for name in npz.files}
+            obj = _decode(skeleton, arrays)
+        except Exception:
+            self.stats.errors += 1
+            self.stats.misses += 1
+            shutil.rmtree(entry, ignore_errors=True)
+            return MISS
+        os.utime(entry)  # LRU touch
+        self.stats.hits += 1
+        return obj
+
+    def put(self, key: str, obj: object) -> None:
+        """Store an object under ``key`` (atomic; last writer wins)."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        arrays: list[np.ndarray] = []
+        skeleton = _encode(obj, arrays)
+        tmp = Path(tempfile.mkdtemp(dir=self.root, prefix=".write-"))
+        try:
+            with open(tmp / _SKELETON, "wb") as fh:
+                pickle.dump(skeleton, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            if arrays:
+                np.savez_compressed(
+                    tmp / _PAYLOAD,
+                    **{f"a{i}": arr for i, arr in enumerate(arrays)},
+                )
+            nbytes = sum(p.stat().st_size for p in tmp.iterdir())
+            (tmp / _META).write_text(
+                json.dumps({"key": key, "nbytes": nbytes}) + "\n"
+            )
+            entry = self._entry_dir(key)
+            entry.parent.mkdir(parents=True, exist_ok=True)
+            if entry.exists():
+                shutil.rmtree(entry, ignore_errors=True)
+            os.rename(tmp, entry)
+        except OSError:
+            # A concurrent writer renamed first; its entry is equivalent.
+            shutil.rmtree(tmp, ignore_errors=True)
+        else:
+            self.stats.puts += 1
+        self._evict(keep=self._entry_dir(key))
+
+    def __contains__(self, key: str) -> bool:
+        return (self._entry_dir(key) / _SKELETON).exists()
+
+    def entries(self) -> list[str]:
+        """Keys currently stored (unordered)."""
+        if not self.root.is_dir():
+            return []
+        return [d.name for d, _, _ in self._scan()]
+
+    def total_bytes(self) -> int:
+        """Bytes used across all entries."""
+        return sum(size for _, _, size in self._scan())
+
+    def clear(self) -> None:
+        """Delete every entry."""
+        for entry, _, _ in self._scan():
+            shutil.rmtree(entry, ignore_errors=True)
+
+    # -- internals ------------------------------------------------------------
+
+    def _entry_dir(self, key: str) -> Path:
+        return self.root / key[:2] / key
+
+    def _scan(self) -> list[tuple[Path, float, int]]:
+        """(entry dir, mtime, payload bytes) for every complete entry."""
+        found: list[tuple[Path, float, int]] = []
+        if not self.root.is_dir():
+            return found
+        for shard in self.root.iterdir():
+            if not shard.is_dir() or shard.name.startswith("."):
+                continue
+            for entry in shard.iterdir():
+                if not (entry / _SKELETON).exists():
+                    continue
+                try:
+                    mtime = entry.stat().st_mtime
+                    size = sum(p.stat().st_size for p in entry.iterdir())
+                except OSError:
+                    continue
+                found.append((entry, mtime, size))
+        return found
+
+    def _evict(self, keep: Path | None = None) -> None:
+        """Drop least-recently-used entries beyond the size budgets."""
+        if self.max_bytes is None and self.max_entries is None:
+            return
+        entries = sorted(self._scan(), key=lambda e: (e[1], e[0].name))
+        total = sum(size for _, _, size in entries)
+        count = len(entries)
+        for entry, _, size in entries:
+            over_entries = self.max_entries is not None and count > self.max_entries
+            over_bytes = self.max_bytes is not None and total > self.max_bytes
+            if not (over_entries or over_bytes):
+                break
+            if keep is not None and entry == keep:
+                continue
+            shutil.rmtree(entry, ignore_errors=True)
+            self.stats.evictions += 1
+            total -= size
+            count -= 1

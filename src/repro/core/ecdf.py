@@ -7,7 +7,7 @@ and operate on plain 1-D arrays.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -28,13 +28,21 @@ class ECDF:
 
     values: np.ndarray
     probabilities: np.ndarray
+    #: ``probabilities`` with a leading 0, so evaluation below the
+    #: sample minimum indexes cleanly. Built once here — evaluation
+    #: sits in hot loops and must not re-allocate per call.
+    _padded: np.ndarray = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "_padded", np.concatenate(([0.0], self.probabilities))
+        )
 
     def __call__(self, x: np.ndarray | float) -> np.ndarray | float:
         """Evaluate the CDF at arbitrary points (right-continuous)."""
         x_arr = np.asarray(x, dtype=np.float64)
         idx = np.searchsorted(self.values, x_arr, side="right")
-        probs = np.concatenate(([0.0], self.probabilities))
-        out = probs[idx]
+        out = self._padded[idx]
         return out if x_arr.ndim else float(out)
 
     def quantile(self, q: np.ndarray | float) -> np.ndarray | float:

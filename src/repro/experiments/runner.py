@@ -5,16 +5,32 @@ Usage::
     repro-experiments --list
     repro-experiments                     # run everything at paper scale
     repro-experiments fig4 tab1 --scale small --seed 1
+    repro-experiments --jobs 4 --profile  # parallel, with a timing footer
+    repro-experiments --json timing.json  # machine-readable run report
+
+Rendered results go to stdout in id order and depend only on
+``(scale, seed)``, so ``--jobs N`` output is byte-identical to a
+serial run. Timing footers, the JSON report and error reports go to
+stderr / the ``--json`` target, keeping stdout reproducible.
+
+Datasets are cached on disk under ``--cache-dir`` (default:
+``$REPRO_CACHE_DIR`` or ``~/.cache/repro/datasets``); a second run at
+the same scale/seed is a warm-cache operation with zero trace
+generation or simulation. ``--no-cache`` disables the disk cache.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from collections.abc import Sequence
+from pathlib import Path
 
-from .datasets import SCALES
-from .registry import EXPERIMENTS, run_experiment
+from ..core.timing import Timings, render_timings
+from .datasets import SCALES, configure_cache, default_cache_dir, reset_dataset_stats
+from .parallel import run_experiments
+from .registry import EXPERIMENTS
 
 __all__ = ["main"]
 
@@ -43,28 +59,139 @@ def _parser() -> argparse.ArgumentParser:
         help="dataset scale (default: paper)",
     )
     parser.add_argument("--seed", type=int, default=0, help="random seed")
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="run experiments over N worker processes (default: 1)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="PATH",
+        default=None,
+        help=(
+            "dataset disk-cache directory (default: $REPRO_CACHE_DIR or "
+            "~/.cache/repro/datasets)"
+        ),
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the on-disk dataset cache",
+    )
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="write a machine-readable timing/cache report ('-' = stderr)",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="print a per-stage timing footer to stderr",
+    )
     return parser
+
+
+def _json_report(
+    args: argparse.Namespace, outcomes, timings: Timings, cache_dir: Path | None
+) -> dict[str, object]:
+    per_experiment = []
+    for outcome in outcomes:
+        stages = outcome.timings.stages
+        run = stages.get(f"run:{outcome.experiment_id}")
+        entry: dict[str, object] = {
+            "id": outcome.experiment_id,
+            "ok": outcome.ok,
+            "wall_s": round(run.wall_s, 6) if run else None,
+            "cpu_s": round(run.cpu_s, 6) if run else None,
+        }
+        if not outcome.ok:
+            entry["error"] = outcome.error
+        per_experiment.append(entry)
+    return {
+        "scale": args.scale,
+        "seed": args.seed,
+        "jobs": args.jobs,
+        "cache": {
+            "enabled": cache_dir is not None,
+            "dir": str(cache_dir) if cache_dir is not None else None,
+        },
+        "experiments": per_experiment,
+        **timings.as_dict(),
+    }
 
 
 def main(argv: Sequence[str] | None = None) -> int:
     args = _parser().parse_args(argv)
     if args.list:
+        if args.experiments:
+            print(
+                "--list cannot be combined with experiment ids: "
+                f"{args.experiments}",
+                file=sys.stderr,
+            )
+            return 2
         for exp_id, fn in EXPERIMENTS.items():
             doc = (fn.__doc__ or "").strip().splitlines()
             first = doc[0] if doc else ""
             print(f"{exp_id:8s} {first}")
         return 0
+    if args.jobs < 1:
+        print(f"--jobs must be >= 1, got {args.jobs}", file=sys.stderr)
+        return 2
     ids = args.experiments or list(EXPERIMENTS)
     unknown = [i for i in ids if i not in EXPERIMENTS]
     if unknown:
         print(f"unknown experiment ids: {unknown}", file=sys.stderr)
         print(f"available: {sorted(EXPERIMENTS)}", file=sys.stderr)
         return 2
-    for exp_id in ids:
-        result = run_experiment(exp_id, scale=args.scale, seed=args.seed)
-        print(result.render())
-        print()
-    return 0
+
+    cache_dir: Path | None
+    if args.no_cache:
+        cache_dir = None
+    elif args.cache_dir is not None:
+        cache_dir = Path(args.cache_dir)
+    else:
+        cache_dir = default_cache_dir()
+    configure_cache(cache_dir)
+    reset_dataset_stats()
+
+    timings = Timings()
+    with timings.stage("total"):
+        outcomes = run_experiments(
+            ids, scale=args.scale, seed=args.seed, jobs=args.jobs, timings=timings
+        )
+
+    failures = []
+    for outcome in outcomes:
+        if outcome.ok:
+            print(outcome.rendered)
+            print()
+        else:
+            failures.append(outcome)
+            print(
+                f"experiment {outcome.experiment_id} failed: {outcome.error}",
+                file=sys.stderr,
+            )
+    if failures:
+        failed_ids = [o.experiment_id for o in failures]
+        print(
+            f"{len(failures)}/{len(outcomes)} experiments failed: {failed_ids}",
+            file=sys.stderr,
+        )
+
+    if args.profile:
+        print(render_timings(timings), file=sys.stderr)
+    if args.json is not None:
+        report = _json_report(args, outcomes, timings, cache_dir)
+        text = json.dumps(report, indent=2, sort_keys=True)
+        if args.json == "-":
+            print(text, file=sys.stderr)
+        else:
+            Path(args.json).write_text(text + "\n")
+    return 1 if failures else 0
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -66,9 +66,10 @@ def gwa_table(**columns: np.ndarray) -> Table:
 
 
 def _open_text(path: Path, mode: str) -> io.TextIOBase:
+    # Pin the encoding so parsing never depends on the host locale.
     if path.suffix == ".gz":
-        return gzip.open(path, mode + "t")  # type: ignore[return-value]
-    return open(path, mode)
+        return gzip.open(path, mode + "t", encoding="utf-8")  # type: ignore[return-value]
+    return open(path, mode, encoding="utf-8")
 
 
 def write_gwa(table: Table, path: str | Path) -> None:

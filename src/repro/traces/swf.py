@@ -58,9 +58,11 @@ def swf_table(**columns: np.ndarray) -> Table:
 
 
 def _open_text(path: Path, mode: str) -> io.TextIOBase:
+    # SWF is an ASCII format; pin the encoding so parsing never depends
+    # on the host locale (PWA archives are served as plain/gzipped text).
     if path.suffix == ".gz":
-        return gzip.open(path, mode + "t")  # type: ignore[return-value]
-    return open(path, mode)
+        return gzip.open(path, mode + "t", encoding="utf-8")  # type: ignore[return-value]
+    return open(path, mode, encoding="utf-8")
 
 
 def write_swf(table: Table, path: str | Path, header: str | None = None) -> None:

@@ -1,0 +1,189 @@
+"""Unit tests for the content-addressed dataset disk cache."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core.diskcache import (
+    MISS,
+    DiskCache,
+    cache_key,
+    fingerprint,
+)
+from repro.core.table import Table
+
+
+@dataclasses.dataclass(frozen=True)
+class Payload:
+    """Stand-in for SimResult-style containers: arrays + table + meta."""
+
+    name: str
+    arr: np.ndarray
+    table: Table
+    nested: dict
+
+
+def _payload(seed: int = 0) -> Payload:
+    rng = np.random.default_rng(seed)
+    return Payload(
+        name=f"p{seed}",
+        arr=rng.normal(size=100),
+        table=Table(
+            {
+                "a": rng.integers(0, 10, size=50),
+                "b": rng.normal(size=50),
+            }
+        ),
+        nested={"k": (1, 2.5, rng.normal(size=7)), "n": None},
+    )
+
+
+class TestFingerprint:
+    def test_stable_for_equal_inputs(self):
+        assert fingerprint({"b": 2, "a": 1.5}) == fingerprint({"a": 1.5, "b": 2})
+
+    def test_sensitive_to_values(self):
+        assert fingerprint({"a": 1}) != fingerprint({"a": 2})
+
+    def test_dataclass_field_changes_fingerprint(self):
+        a = _payload(0)
+        b = dataclasses.replace(a, name="other")
+        assert fingerprint(a) != fingerprint(b)
+
+    def test_plain_object_hashed_by_state_not_address(self):
+        class Dist:
+            def __init__(self, mu):
+                self.mu = mu
+
+        assert fingerprint(Dist(1.0)) == fingerprint(Dist(1.0))
+        assert fingerprint(Dist(1.0)) != fingerprint(Dist(2.0))
+
+    def test_array_contents_matter(self):
+        assert fingerprint(np.arange(4)) != fingerprint(np.arange(1, 5))
+
+
+class TestCacheKey:
+    def test_component_sensitivity(self):
+        base = cache_key(kind="workload", scale="small", seed=0, version=1)
+        assert base == cache_key(kind="workload", scale="small", seed=0, version=1)
+        assert base != cache_key(kind="workload", scale="small", seed=1, version=1)
+        assert base != cache_key(kind="workload", scale="paper", seed=0, version=1)
+        assert base != cache_key(kind="workload", scale="small", seed=0, version=2)
+        assert base != cache_key(kind="simulation", scale="small", seed=0, version=1)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            cache_key()
+
+
+class TestRoundTrip:
+    def test_arrays_bit_identical(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        obj = _payload(3)
+        cache.put("k" * 64, obj)
+        loaded = cache.get("k" * 64)
+        assert loaded is not MISS
+        assert loaded.name == obj.name
+        np.testing.assert_array_equal(loaded.arr, obj.arr)
+        assert loaded.arr.dtype == obj.arr.dtype
+        assert loaded.table == obj.table
+        for name in obj.table.column_names:
+            assert loaded.table[name].dtype == obj.table[name].dtype
+        np.testing.assert_array_equal(
+            loaded.nested["k"][2], obj.nested["k"][2]
+        )
+        assert loaded.nested["k"][:2] == (1, 2.5)
+        assert loaded.nested["n"] is None
+
+    def test_tuple_and_int_keyed_dicts_survive(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        obj = {1: np.arange(3), 2: ("x", [np.float64(1.5)])}
+        cache.put("a" * 64, obj)
+        loaded = cache.get("a" * 64)
+        assert set(loaded) == {1, 2}
+        np.testing.assert_array_equal(loaded[1], np.arange(3))
+        assert loaded[2][0] == "x"
+
+    def test_miss_on_absent_key(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        assert cache.get("b" * 64) is MISS
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 0
+
+    def test_contains_and_entries(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        key = "c" * 64
+        assert key not in cache
+        cache.put(key, {"x": 1})
+        assert key in cache
+        assert cache.entries() == [key]
+        cache.clear()
+        assert cache.entries() == []
+
+    def test_hit_and_put_counters(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        cache.put("d" * 64, [1, 2, 3])
+        assert cache.stats.puts == 1
+        assert cache.get("d" * 64) == [1, 2, 3]
+        assert cache.stats.hits == 1
+
+
+class TestCorruption:
+    def test_truncated_payload_recovers_as_miss(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        key = "e" * 64
+        cache.put(key, _payload(1))
+        payload = tmp_path / key[:2] / key / "data.npz"
+        payload.write_bytes(payload.read_bytes()[:20])
+        assert cache.get(key) is MISS
+        assert cache.stats.errors == 1
+        # The broken entry is gone; a re-put works again.
+        assert key not in cache
+        cache.put(key, _payload(1))
+        assert cache.get(key) is not MISS
+
+    def test_garbage_skeleton_recovers_as_miss(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        key = "f" * 64
+        cache.put(key, {"v": np.arange(5)})
+        (tmp_path / key[:2] / key / "skeleton.pkl").write_bytes(b"not a pickle")
+        assert cache.get(key) is MISS
+        assert key not in cache
+
+
+class TestEviction:
+    def test_entry_count_budget(self, tmp_path):
+        import os
+
+        cache = DiskCache(tmp_path, max_entries=2, max_bytes=None)
+        keys = [c * 64 for c in "abc"]
+        for i, key in enumerate(keys):
+            cache.put(key, {"i": np.arange(10)})
+            # Distinct mtimes so LRU order is unambiguous on coarse
+            # filesystem timestamp resolutions.
+            os.utime(tmp_path / key[:2] / key, (1000 + i, 1000 + i))
+        cache._evict()
+        assert cache.stats.evictions >= 1
+        assert len(cache.entries()) == 2
+        assert keys[0] not in cache  # oldest evicted
+        assert keys[2] in cache  # newest kept
+
+    def test_byte_budget(self, tmp_path):
+        import os
+
+        cache = DiskCache(tmp_path, max_entries=None, max_bytes=1)
+        for i, c in enumerate("ab"):
+            key = c * 64
+            cache.put(key, {"i": np.arange(100)})
+            os.utime(tmp_path / key[:2] / key, (1000 + i, 1000 + i))
+        cache._evict()
+        # Every entry exceeds one byte; only the newest survives a put.
+        assert len(cache.entries()) <= 1
+
+    def test_no_budget_keeps_everything(self, tmp_path):
+        cache = DiskCache(tmp_path, max_entries=None, max_bytes=None)
+        for c in "abcdef":
+            cache.put(c * 64, {"x": 1})
+        assert len(cache.entries()) == 6
+        assert cache.stats.evictions == 0

@@ -38,6 +38,15 @@ class TestECDF:
         with pytest.raises(ValueError):
             ecdf(np.array([1.0, np.nan]))
 
+    def test_padded_probabilities_precomputed(self):
+        # Hot-loop fix: the 0-padded array is built once at construction
+        # and reused identically across evaluations.
+        cdf = ecdf(np.array([1.0, 2.0, 3.0]))
+        padded = cdf._padded
+        np.testing.assert_allclose(padded, [0.0, 1 / 3, 2 / 3, 1.0])
+        cdf(np.array([0.5, 2.5]))
+        assert cdf._padded is padded
+
     def test_quantile_inverts(self):
         sample = np.arange(1, 101, dtype=float)
         cdf = ecdf(sample)

@@ -179,7 +179,8 @@ class TestRunnerCli:
         assert "fig4" in out
 
     def test_run_one(self, capsys):
-        assert runner_main(["fig4", "--scale", "small"]) == 0
+        # --no-cache keeps the test hermetic (no writes to ~/.cache).
+        assert runner_main(["fig4", "--scale", "small", "--no-cache"]) == 0
         out = capsys.readouterr().out
         assert "joint" in out.lower()
 

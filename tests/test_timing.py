@@ -1,0 +1,84 @@
+"""Unit tests for the stage-timing/counter layer."""
+
+from repro.core.timing import StageStats, Timings, render_timings
+
+
+class TestTimings:
+    def test_stage_accumulates(self):
+        t = Timings()
+        with t.stage("work"):
+            pass
+        with t.stage("work"):
+            pass
+        assert t.stages["work"].calls == 2
+        assert t.stages["work"].wall_s >= 0.0
+        assert t.stages["work"].cpu_s >= 0.0
+
+    def test_stage_records_on_exception(self):
+        t = Timings()
+        try:
+            with t.stage("boom"):
+                raise RuntimeError("x")
+        except RuntimeError:
+            pass
+        assert t.stages["boom"].calls == 1
+
+    def test_counters(self):
+        t = Timings()
+        t.count("hits")
+        t.count("hits", 2)
+        assert t.counters == {"hits": 3}
+
+    def test_merge(self):
+        a = Timings()
+        a.record("s", 1.0, 0.5)
+        a.count("n", 1)
+        b = Timings()
+        b.record("s", 2.0, 1.0)
+        b.record("other", 0.25, 0.25)
+        b.count("n", 4)
+        a.merge(b)
+        assert a.stages["s"].calls == 2
+        assert a.stages["s"].wall_s == 3.0
+        assert a.stages["other"].wall_s == 0.25
+        assert a.counters["n"] == 5
+
+    def test_merge_without_counters(self):
+        a = Timings()
+        b = Timings()
+        b.record("s", 1.0, 1.0)
+        b.count("n", 7)
+        a.merge(b, counters=False)
+        assert "s" in a.stages
+        assert a.counters == {}
+
+    def test_merge_counts(self):
+        t = Timings()
+        t.merge_counts({"x": 2, "y": 0})
+        t.merge_counts({"x": 3})
+        assert t.counters == {"x": 5, "y": 0}
+
+    def test_as_dict_round_numbers(self):
+        t = Timings()
+        t.record("s", 1.23456789, 0.5)
+        t.count("hits", 2)
+        d = t.as_dict()
+        assert d["stages"]["s"]["calls"] == 1
+        assert abs(d["stages"]["s"]["wall_s"] - 1.234568) < 1e-9
+        assert d["counters"] == {"hits": 2}
+
+
+class TestRender:
+    def test_footer_contains_stages_and_counters(self):
+        t = Timings()
+        t.record("warm-datasets", 0.5, 0.25)
+        t.count("disk_hits", 2)
+        text = render_timings(t)
+        assert "warm-datasets" in text
+        assert "disk_hits=2" in text
+        assert "wall s" in text
+
+    def test_stage_stats_as_dict(self):
+        s = StageStats()
+        s.add(1.0, 0.5)
+        assert s.as_dict() == {"calls": 1, "wall_s": 1.0, "cpu_s": 0.5}

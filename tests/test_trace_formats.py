@@ -84,6 +84,16 @@ class TestSwfRoundTrip:
         np.testing.assert_allclose(back["num_procs"], [8, 16])
         assert "Test cluster" in path.read_text()
 
+    def test_encoding_locale_independent(self, tmp_path):
+        # Headers may carry non-ASCII site names; reading must not
+        # depend on the host locale (files are pinned to UTF-8).
+        t = swf_table(submit_time=np.array([5.0]))
+        for name in ("trace.swf", "trace.swf.gz"):
+            path = tmp_path / name
+            write_swf(t, path, header="Computer: Grille-5000 — Orsay")
+            back = read_swf(path)
+            np.testing.assert_allclose(back["submit_time"], [5.0])
+
     def test_swf_ids_one_based(self):
         t = swf_table(submit_time=np.array([0.0]))
         assert t["job_id"][0] == 1
