@@ -1,0 +1,17 @@
+#!/usr/bin/env python
+"""Run the tracked benchmark harness without installing the package.
+
+Equivalent to the ``repro-bench`` entry point::
+
+    python scripts/bench.py --scale small --scale medium --check
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.experiments.bench import main  # noqa: E402
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -9,6 +9,7 @@ from . import (  # noqa: F401
     layering,
     registry_complete,
     rng,
+    rowloops,
     schema_columns,
     wallclock,
 )

@@ -35,6 +35,13 @@ from .fairness import (
     jain_fairness,
     submission_rate_stats,
 )
+from .kernels import (
+    MassCountAccumulator,
+    RunLengths,
+    grouped_sort_split,
+    pooled_level_durations,
+    run_length_encode,
+)
 from .masscount import MassCount, joint_ratio_label, mass_count
 from .noise import autocorrelation, mean_filter, noise_series, noise_stats
 from .report import format_number, render_kv, render_table
@@ -62,6 +69,11 @@ from .usage import cpu_usage_eq4, memory_usage_mb
 
 __all__ = [
     "BoundedPareto",
+    "MassCountAccumulator",
+    "RunLengths",
+    "grouped_sort_split",
+    "pooled_level_durations",
+    "run_length_encode",
     "CANDIDATE_FAMILIES",
     "CacheStats",
     "CloudGridComparison",

@@ -1,0 +1,225 @@
+"""Vectorized analysis kernels shared by the hostload/sim/synth layers.
+
+The paper-scale trace (25M tasks, >12.5k machines, a month of 5-minute
+samples) turns every per-machine Python loop into a bottleneck. This
+module collects the hot inner passes as single-sweep NumPy kernels:
+
+* :func:`run_length_encode` — maximal constant runs of a code array.
+* :func:`pooled_level_durations` — run-length segmentation of *many*
+  concatenated series in one pass (replaces the per-machine loop over
+  :func:`repro.core.segments.level_durations`).
+* :func:`grouped_sort_split` — one ``lexsort`` + ``np.split`` grouped
+  pass over a :class:`~repro.core.table.Table` (replaces per-key
+  filter-and-sort scans, which are O(groups x rows)).
+* :class:`MassCountAccumulator` — chunked mass-count pooling for
+  streaming/columnar generation.
+
+Equivalence contract: every kernel here is **bit-identical** to the
+scalar path it replaces. The scalar implementations are intentionally
+kept (as golden references) next to their call sites and the
+``tests/test_kernels.py`` golden suite runs both on seeded inputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .masscount import MassCount, mass_count
+from .segments import DEFAULT_USAGE_LEVELS, discretize
+from .table import Table
+
+__all__ = [
+    "RunLengths",
+    "run_length_encode",
+    "pooled_level_durations",
+    "grouped_sort_split",
+    "MassCountAccumulator",
+]
+
+
+@dataclass(frozen=True)
+class RunLengths:
+    """Maximal constant runs of a 1-D code array.
+
+    ``values[i]`` repeats ``lengths[i]`` times starting at ``starts[i]``;
+    concatenating the runs reconstructs the input exactly.
+    """
+
+    starts: np.ndarray
+    lengths: np.ndarray
+    values: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.starts)
+
+
+def run_length_encode(codes: np.ndarray) -> RunLengths:
+    """``np.diff``-based run-length encoding of a 1-D array."""
+    codes = np.asarray(codes)
+    if codes.ndim != 1:
+        raise ValueError(f"codes must be 1-D, got ndim={codes.ndim}")
+    if codes.size == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return RunLengths(starts=empty, lengths=empty.copy(), values=codes[:0])
+    change = np.flatnonzero(codes[1:] != codes[:-1]) + 1
+    starts = np.concatenate(([0], change)).astype(np.int64)
+    ends = np.concatenate((change, [codes.size])).astype(np.int64)
+    return RunLengths(starts=starts, lengths=ends - starts, values=codes[starts])
+
+
+def _series_tails(
+    starts: np.ndarray,
+    ends: np.ndarray,
+    diffs: np.ndarray,
+    within: np.ndarray,
+) -> np.ndarray:
+    """Trailing sampling interval per series: median spacing, or 1.0.
+
+    Mirrors :func:`repro.core.segments.constant_segments` exactly — a
+    single-sample series gets tail 1.0, otherwise the median of its
+    consecutive time differences. ``within`` masks the diff positions
+    that do not cross a series boundary.
+    """
+    counts = ends - starts
+    if counts.size == 0:
+        return np.empty(0)
+    length = counts[0]
+    if length > 1 and np.all(counts == length):
+        # Equal-length fast path: the within-series diffs concatenate
+        # to (n_series, length - 1) rows; one axis-wise median.
+        return np.median(diffs[within].reshape(-1, length - 1), axis=1)
+    tails = np.empty(counts.size)
+    for i, (s, e) in enumerate(zip(starts, ends)):
+        tails[i] = float(np.median(diffs[s : e - 1])) if e - s > 1 else 1.0
+    return tails
+
+
+def pooled_level_durations(
+    times: np.ndarray,
+    values: np.ndarray,
+    lengths: np.ndarray,
+    edges: np.ndarray = DEFAULT_USAGE_LEVELS,
+) -> dict[int, np.ndarray]:
+    """Unchanged-level durations of many concatenated series, one pass.
+
+    ``times``/``values`` hold ``len(lengths)`` series back to back
+    (series ``i`` spans ``lengths[i]`` samples); the result is keyed by
+    level and concatenates every series' run durations in series order —
+    bit-identical to looping :func:`repro.core.segments.level_durations`
+    over the series and concatenating per level.
+    """
+    times = np.asarray(times, dtype=np.float64)
+    values = np.asarray(values, dtype=np.float64)
+    lengths = np.asarray(lengths, dtype=np.int64)
+    if times.shape != values.shape or times.ndim != 1:
+        raise ValueError("times and values must be 1-D with equal shape")
+    if np.any(lengths < 0) or int(lengths.sum()) != times.size:
+        raise ValueError("lengths must be non-negative and sum to len(times)")
+    n_levels = len(np.asarray(edges)) - 1
+    if times.size == 0:
+        # discretize() still validates the edges on the empty pool.
+        discretize(values, edges)
+        return {lvl: np.empty(0) for lvl in range(n_levels)}
+
+    levels = discretize(values, edges)
+    offsets = np.concatenate(([0], np.cumsum(lengths)))
+    nonempty = lengths > 0
+    series_starts = offsets[:-1][nonempty]
+    series_ends = offsets[1:][nonempty]
+
+    is_series_start = np.zeros(times.size, dtype=bool)
+    is_series_start[series_starts] = True
+    diffs = np.diff(times)
+    within = ~is_series_start[1:]  # diff positions that stay in one series
+    if np.any(diffs[within] <= 0):
+        raise ValueError("times must be strictly increasing")
+
+    is_run_start = is_series_start.copy()
+    is_run_start[1:] |= (levels[1:] != levels[:-1]) & within
+    run_starts = np.flatnonzero(is_run_start)
+    run_levels = levels[run_starts]
+
+    tails = _series_tails(series_starts, series_ends, diffs, within)
+    series_end_times = times[series_ends - 1] + tails
+
+    series_of_run = (
+        np.searchsorted(series_starts, run_starts, side="right") - 1
+    )
+    last_run = np.ones(run_starts.size, dtype=bool)
+    last_run[:-1] = series_of_run[1:] != series_of_run[:-1]
+
+    next_boundary = np.empty(run_starts.size)
+    next_boundary[:-1] = times[run_starts[1:]]
+    next_boundary[last_run] = series_end_times[series_of_run[last_run]]
+    durations = next_boundary - times[run_starts]
+    return {lvl: durations[run_levels == lvl] for lvl in range(n_levels)}
+
+
+def grouped_sort_split(
+    table: Table, key: str, within: str | None = None
+) -> tuple[np.ndarray, dict[str, list[np.ndarray]]]:
+    """Split every column of ``table`` by ``key`` with one stable sort.
+
+    Returns ``(unique_keys, columns)`` where ``columns[name][i]`` is the
+    slice of column ``name`` belonging to ``unique_keys[i]``, ordered by
+    ``within`` (ties keep original row order). Bit-identical to masking
+    the table once per key and ``sort_by(within)``-ing each subset, but
+    a single O(n log n) pass: the per-group slices are views into one
+    gathered array, so no per-group copies are made.
+    """
+    keys = table[key]
+    if len(keys) == 0:
+        return keys[:0], {name: [] for name in table.column_names}
+    if within is not None:
+        order = np.lexsort((table[within], keys))
+    else:
+        order = np.argsort(keys, kind="stable")
+    sorted_keys = keys[order]
+    bounds = np.flatnonzero(sorted_keys[1:] != sorted_keys[:-1]) + 1
+    unique_keys = sorted_keys[np.concatenate(([0], bounds))]
+    columns = {
+        name: np.split(table[name][order], bounds)
+        for name in table.column_names
+    }
+    return unique_keys, columns
+
+
+class MassCountAccumulator:
+    """Pool sample chunks for one final mass-count pass.
+
+    Chunked/columnar generators produce values block by block; this
+    accumulator collects the blocks and finalizes with a single
+    :func:`~repro.core.masscount.mass_count` over their concatenation —
+    bit-identical to materializing the pool up front, while the producer
+    only ever holds one block of its full columns in memory.
+    """
+
+    def __init__(self, *, positive_only: bool = False) -> None:
+        self._chunks: list[np.ndarray] = []
+        self._positive_only = positive_only
+
+    def add(self, values: np.ndarray) -> None:
+        """Add one chunk (values are copied to float64)."""
+        arr = np.asarray(values, dtype=np.float64)
+        if arr.ndim != 1:
+            raise ValueError("chunks must be 1-D")
+        if self._positive_only:
+            arr = arr[arr > 0]
+        if arr.size:
+            self._chunks.append(np.array(arr, dtype=np.float64, copy=True))
+
+    @property
+    def n_values(self) -> int:
+        return sum(chunk.size for chunk in self._chunks)
+
+    def merged(self) -> np.ndarray:
+        """All pooled values in insertion order."""
+        if not self._chunks:
+            return np.empty(0)
+        return np.concatenate(self._chunks)
+
+    def finalize(self) -> MassCount:
+        """Mass-count disparity of the pooled sample."""
+        return mass_count(self.merged())

@@ -1,9 +1,11 @@
 """Standard synthetic datasets shared across experiments.
 
-Two scales exist: ``small`` keeps unit/integration tests fast, while
-``paper`` approximates the paper's month-long measurement (scaled from
-12,500 to 40 machines; per-machine dynamics are what Figs. 7-13
-measure, so the fleet size only affects statistical smoothness).
+Three scales exist: ``small`` keeps unit/integration tests fast,
+``medium`` sizes benchmark runs so vectorized-vs-scalar speedups are
+measurable, and ``paper`` approximates the paper's month-long
+measurement (scaled from 12,500 to 40 machines; per-machine dynamics
+are what Figs. 7-13 measure, so the fleet size only affects
+statistical smoothness).
 
 Builders are memoized per (scale, seed) because the simulation dataset
 takes tens of seconds at paper scale and every host-load experiment
@@ -87,6 +89,16 @@ SCALES: dict[str, ScaleSpec] = {
         busy_window=None,
         busy_factor=1.0,
         task_sample_size=40_000,
+    ),
+    "medium": ScaleSpec(
+        name="medium",
+        workload_horizon=10 * DAY,
+        sim_horizon=6 * DAY,
+        num_machines=32,
+        tasks_per_hour_per_machine=12.0,
+        busy_window=None,
+        busy_factor=1.0,
+        task_sample_size=100_000,
     ),
     "paper": ScaleSpec(
         name="paper",

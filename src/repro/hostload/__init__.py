@@ -23,9 +23,18 @@ from .queues import (
     running_state_durations,
     task_spans,
 )
-from .series import MachineLoadSeries, all_machine_series, machine_series
+from .series import (
+    MachineLoadSeries,
+    all_machine_series,
+    grouped_machine_series,
+    machine_series,
+)
+from .stream import USAGE_GRID_SCHEMA, UsageGridAccumulator
 
 __all__ = [
+    "USAGE_GRID_SCHEMA",
+    "UsageGridAccumulator",
+    "grouped_machine_series",
     "FEATURE_NAMES",
     "LevelDurationStats",
     "LevelSnapshot",

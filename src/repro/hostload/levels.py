@@ -12,6 +12,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..core import kernels
 from ..core.masscount import MassCount, mass_count
 from ..core.segments import DEFAULT_USAGE_LEVELS, discretize, level_durations
 from .series import MachineLoadSeries
@@ -95,7 +96,37 @@ def pooled_level_durations(
     attribute: str = "cpu",
     edges: np.ndarray = DEFAULT_USAGE_LEVELS,
 ) -> dict[int, np.ndarray]:
-    """Unchanged-level durations pooled over all machines."""
+    """Unchanged-level durations pooled over all machines.
+
+    Runs the one-pass run-length kernel over all machines' concatenated
+    series — bit-identical to the per-machine scalar loop
+    (:func:`_pooled_level_durations_scalar`), which is kept as the
+    golden reference.
+    """
+    n_levels = len(np.asarray(edges)) - 1
+    if not series:
+        return {lvl: np.empty(0) for lvl in range(n_levels)}
+    pool = list(series.values())
+    times = np.concatenate([s.times for s in pool])
+    lengths = np.asarray([len(s) for s in pool], dtype=np.int64)
+    # One pooled divide-and-clip instead of a relative() call per
+    # machine; dividing each element by its own machine's scalar
+    # capacity is the identical float64 operation either way.
+    caps = np.repeat(
+        np.asarray([s.capacity_for(attribute) for s in pool]), lengths
+    )
+    values = np.clip(
+        np.concatenate([s.absolute(attribute) for s in pool]) / caps, 0.0, 1.0
+    )
+    return kernels.pooled_level_durations(times, values, lengths, edges)
+
+
+def _pooled_level_durations_scalar(
+    series: dict[int, MachineLoadSeries],
+    attribute: str = "cpu",
+    edges: np.ndarray = DEFAULT_USAGE_LEVELS,
+) -> dict[int, np.ndarray]:
+    """Golden scalar reference: segment one machine at a time."""
     n_levels = len(np.asarray(edges)) - 1
     pools: dict[int, list[np.ndarray]] = {lvl: [] for lvl in range(n_levels)}
     for s in series.values():

@@ -12,9 +12,15 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..core.kernels import grouped_sort_split
 from ..traces.table import Table
 
-__all__ = ["MachineLoadSeries", "machine_series", "all_machine_series"]
+__all__ = [
+    "MachineLoadSeries",
+    "machine_series",
+    "all_machine_series",
+    "grouped_machine_series",
+]
 
 
 @dataclass(frozen=True)
@@ -41,13 +47,8 @@ class MachineLoadSeries:
 
     # -- relative (per-capacity) views ----------------------------------------
 
-    def relative(self, attribute: str = "cpu") -> np.ndarray:
-        """Load level in [0, 1]: usage over this machine's capacity.
-
-        ``attribute`` is one of ``cpu``, ``mem``, ``mem_assigned``,
-        ``page_cache``, ``cpu_mid_high``, ``cpu_high``,
-        ``mem_mid_high``, ``mem_high``.
-        """
+    def capacity_for(self, attribute: str) -> float:
+        """Capacity normalizing one usage attribute."""
         capacity = {
             "cpu": self.cpu_capacity,
             "cpu_mid_high": self.cpu_capacity,
@@ -59,22 +60,37 @@ class MachineLoadSeries:
             "page_cache": self.page_capacity,
         }
         try:
-            cap = capacity[attribute]
+            return capacity[attribute]
         except KeyError:
             raise ValueError(
                 f"unknown attribute {attribute!r}; choose from {sorted(capacity)}"
             ) from None
-        values = {
-            "cpu": self.cpu,
-            "cpu_mid_high": self.cpu_mid_high,
-            "cpu_high": self.cpu_high,
-            "mem": self.mem,
-            "mem_assigned": self.mem_assigned,
-            "mem_mid_high": self.mem_mid_high,
-            "mem_high": self.mem_high,
-            "page_cache": self.page_cache,
-        }[attribute]
-        return np.clip(values / cap, 0.0, 1.0)
+
+    def absolute(self, attribute: str) -> np.ndarray:
+        """The raw sampled series of one usage attribute."""
+        try:
+            return {
+                "cpu": self.cpu,
+                "cpu_mid_high": self.cpu_mid_high,
+                "cpu_high": self.cpu_high,
+                "mem": self.mem,
+                "mem_assigned": self.mem_assigned,
+                "mem_mid_high": self.mem_mid_high,
+                "mem_high": self.mem_high,
+                "page_cache": self.page_cache,
+            }[attribute]
+        except KeyError:
+            raise ValueError(f"unknown attribute {attribute!r}") from None
+
+    def relative(self, attribute: str = "cpu") -> np.ndarray:
+        """Load level in [0, 1]: usage over this machine's capacity.
+
+        ``attribute`` is one of ``cpu``, ``mem``, ``mem_assigned``,
+        ``page_cache``, ``cpu_mid_high``, ``cpu_high``,
+        ``mem_mid_high``, ``mem_high``.
+        """
+        cap = self.capacity_for(attribute)
+        return np.clip(self.absolute(attribute) / cap, 0.0, 1.0)
 
     def max_load(self, attribute: str = "cpu") -> float:
         """Maximum absolute load over the trace (Fig. 7's statistic)."""
@@ -126,29 +142,62 @@ def machine_series(
 def all_machine_series(
     machine_usage: Table, machines: Table
 ) -> dict[int, MachineLoadSeries]:
-    """Series for every machine, via one grouped pass over the table."""
-    groups = machine_usage.group_indices("machine_id")
+    """Series for every machine (thin wrapper over the grouped kernel)."""
+    return grouped_machine_series(machine_usage, machines)
+
+
+def grouped_machine_series(
+    machine_usage: Table, machines: Table
+) -> dict[int, MachineLoadSeries]:
+    """Every machine's series via one ``argsort``+``np.split`` pass.
+
+    One stable lexsort by (machine, time) replaces the per-machine
+    filter-and-sort scan (which was O(machines x rows)); per-machine
+    columns are views into the gathered arrays. The result dict is in
+    machines-table order and bit-identical to the scalar path
+    (:func:`_all_machine_series_scalar`).
+    """
+    unique_ids, cols = grouped_sort_split(
+        machine_usage, "machine_id", within="time"
+    )
+    slot_of = {int(mid): i for i, mid in enumerate(unique_ids)}
     out: dict[int, MachineLoadSeries] = {}
-    for machine_id in machines["machine_id"]:
+    for i, machine_id in enumerate(machines["machine_id"]):
         mid = int(machine_id)
-        if mid not in groups:
+        slot = slot_of.get(mid)
+        if slot is None or mid in out:
             continue
-        sub = machine_usage.select(groups[mid]).sort_by("time")
-        i = int(np.flatnonzero(machines["machine_id"] == mid)[0])
         out[mid] = MachineLoadSeries(
             machine_id=mid,
             cpu_capacity=float(machines["cpu_capacity"][i]),
             mem_capacity=float(machines["mem_capacity"][i]),
             page_capacity=float(machines["page_cache_capacity"][i]),
-            times=np.asarray(sub["time"]),
-            cpu=np.asarray(sub["cpu_usage"]),
-            mem=np.asarray(sub["mem_usage"]),
-            mem_assigned=np.asarray(sub["mem_assigned"]),
-            page_cache=np.asarray(sub["page_cache"]),
-            cpu_mid_high=np.asarray(sub["cpu_mid_high"]),
-            cpu_high=np.asarray(sub["cpu_high"]),
-            mem_mid_high=np.asarray(sub["mem_mid_high"]),
-            mem_high=np.asarray(sub["mem_high"]),
-            n_running=np.asarray(sub["n_running"]),
+            times=cols["time"][slot],
+            cpu=cols["cpu_usage"][slot],
+            mem=cols["mem_usage"][slot],
+            mem_assigned=cols["mem_assigned"][slot],
+            page_cache=cols["page_cache"][slot],
+            cpu_mid_high=cols["cpu_mid_high"][slot],
+            cpu_high=cols["cpu_high"][slot],
+            mem_mid_high=cols["mem_mid_high"][slot],
+            mem_high=cols["mem_high"][slot],
+            n_running=cols["n_running"][slot],
         )
+    return out
+
+
+def _all_machine_series_scalar(
+    machine_usage: Table, machines: Table
+) -> dict[int, MachineLoadSeries]:
+    """Golden scalar reference: filter the full table once per machine.
+
+    O(machines x rows) — kept only so golden tests and ``repro-bench``
+    can compare the grouped kernel against the original path.
+    """
+    out: dict[int, MachineLoadSeries] = {}
+    for machine_id in machines["machine_id"]:  # reprolint: disable=REP502
+        mid = int(machine_id)
+        if not (machine_usage["machine_id"] == mid).any():
+            continue
+        out[mid] = machine_series(machine_usage, machines, mid)
     return out

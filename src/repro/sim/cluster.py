@@ -106,8 +106,22 @@ class ClusterSimulator:
 
     # -- public API ----------------------------------------------------------
 
-    def run(self, requests: TaskRequests, horizon: float) -> SimResult:
-        """Simulate ``[0, horizon]`` seconds of the request stream."""
+    def run(
+        self,
+        requests: TaskRequests,
+        horizon: float,
+        *,
+        batched_drain: bool = True,
+    ) -> SimResult:
+        """Simulate ``[0, horizon]`` seconds of the request stream.
+
+        ``batched_drain=True`` (the default) pops all events sharing a
+        timestamp in one :meth:`~repro.sim.engine.EventQueue.pop_batch`
+        call instead of one peek/pop round-trip per event. Scheduler
+        decisions are byte-identical either way (the golden equivalence
+        test runs both): events pushed while a batch is processed carry
+        later ``(time, seq)`` keys, so processing order is unchanged.
+        """
         if horizon <= 0:
             raise ValueError("horizon must be positive")
         fleet = FleetState(self.machines)
@@ -250,52 +264,54 @@ class ClusterSimulator:
                     pending.push(task)
                 continue
 
-            time, kind, payload = queue.pop()
+            batch = queue.pop_batch() if batched_drain else [queue.pop()]
+            time = batch[0][0]
             if time > horizon:
                 break
-            if kind == _MACHINE_DOWN:
-                m = int(payload)
-                fleet.available[m] = False
-                # Evict everything running there (machine maintenance).
-                for victim in list(fleet.running[m].values()):
-                    evict(victim, time)
-                continue
-            if kind == _MACHINE_UP:
-                fleet.available[int(payload)] = True
-                drain_pending(time)
-                continue
-            if kind == _TICK:
-                monitor.sample(time, len(pending), n_finished, n_abnormal)
-                if time + period <= horizon:
-                    queue.push(time + period, _TICK, None)
-            elif kind == _COMPLETE:
-                task, incarnation = payload
-                if (
-                    task.incarnation != incarnation
-                    or task.state != TaskState.RUNNING
-                ):
-                    continue  # stale completion (task was evicted)
-                fleet.stop(task.machine, task)
-                record(time, task, task.fate, task.machine)
-                fate_name = TaskEvent(task.fate).name.lower()
-                counts[fate_name] += 1
-                n_finished += 1
-                if task.fate != int(TaskEvent.FINISH):
-                    n_abnormal += 1
-                task.machine = -1
-                task.incarnation += 1
-                if failures.resubmits(task.fate, task.resubmits, self.rng):
-                    task.resubmits += 1
-                    task.fate = failures.redraw_fate(self.rng)
-                    task.state = TaskState.PENDING
-                    record(time, task, int(TaskEvent.SUBMIT), -1)
-                    counts["submitted"] += 1
-                    if not try_place(task, time, allow_preempt=True):
-                        pending.push(task)
-                else:
-                    task.state = TaskState.DEAD
-                # Either way resources were freed: admit pending work.
-                drain_pending(time)
+            for _t, kind, payload in batch:
+                if kind == _MACHINE_DOWN:
+                    m = int(payload)
+                    fleet.available[m] = False
+                    # Evict everything running there (machine maintenance).
+                    for victim in list(fleet.running[m].values()):
+                        evict(victim, time)
+                    continue
+                if kind == _MACHINE_UP:
+                    fleet.available[int(payload)] = True
+                    drain_pending(time)
+                    continue
+                if kind == _TICK:
+                    monitor.sample(time, len(pending), n_finished, n_abnormal)
+                    if time + period <= horizon:
+                        queue.push(time + period, _TICK, None)
+                elif kind == _COMPLETE:
+                    task, incarnation = payload
+                    if (
+                        task.incarnation != incarnation
+                        or task.state != TaskState.RUNNING
+                    ):
+                        continue  # stale completion (task was evicted)
+                    fleet.stop(task.machine, task)
+                    record(time, task, task.fate, task.machine)
+                    fate_name = TaskEvent(task.fate).name.lower()
+                    counts[fate_name] += 1
+                    n_finished += 1
+                    if task.fate != int(TaskEvent.FINISH):
+                        n_abnormal += 1
+                    task.machine = -1
+                    task.incarnation += 1
+                    if failures.resubmits(task.fate, task.resubmits, self.rng):
+                        task.resubmits += 1
+                        task.fate = failures.redraw_fate(self.rng)
+                        task.state = TaskState.PENDING
+                        record(time, task, int(TaskEvent.SUBMIT), -1)
+                        counts["submitted"] += 1
+                        if not try_place(task, time, allow_preempt=True):
+                            pending.push(task)
+                    else:
+                        task.state = TaskState.DEAD
+                    # Either way resources were freed: admit pending work.
+                    drain_pending(time)
 
         task_events = Table(
             {

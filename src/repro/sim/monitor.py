@@ -77,8 +77,23 @@ class MonitorConfig:
             raise ValueError("cpu_spike_range must satisfy 0 <= lo <= hi <= 1")
 
 
+#: Per-machine sample columns buffered tick-major by the monitor.
+_USAGE_COLUMNS: tuple[tuple[str, np.dtype], ...] = tuple(
+    (name, dtype)
+    for name, dtype in MACHINE_USAGE_SCHEMA.items()
+    if name not in ("time", "machine_id")
+)
+
+
 class UsageMonitor:
-    """Collects per-tick machine samples and cluster queue states."""
+    """Collects per-tick machine samples and cluster queue states.
+
+    Samples land in preallocated ``(capacity, num_machines)`` column
+    buffers (grown geometrically), so a month-long paper-scale run does
+    one bulk row-write per tick instead of growing a list of per-tick
+    dicts, and :meth:`machine_usage_table` hands out reshaped views
+    rather than concatenating thousands of small arrays.
+    """
 
     def __init__(
         self,
@@ -89,9 +104,26 @@ class UsageMonitor:
         self.fleet = fleet
         self.config = config
         self.rng = rng
-        self._times: list[float] = []
-        self._machine_rows: list[dict[str, np.ndarray]] = []
+        self._n_ticks = 0
+        self._tick_times = np.empty(0)
+        self._buffers: dict[str, np.ndarray] = {
+            name: np.empty((0, fleet.num_machines), dtype=dtype)
+            for name, dtype in _USAGE_COLUMNS
+        }
         self._cluster_rows: list[tuple[float, int, int, int, int]] = []
+
+    def _ensure_capacity(self) -> None:
+        capacity = len(self._tick_times)
+        if self._n_ticks < capacity:
+            return
+        new_capacity = max(64, 2 * capacity)
+        grown_times = np.empty(new_capacity)
+        grown_times[:capacity] = self._tick_times
+        self._tick_times = grown_times
+        for name, buf in self._buffers.items():
+            grown = np.empty((new_capacity, buf.shape[1]), dtype=buf.dtype)
+            grown[:capacity] = buf
+            self._buffers[name] = grown
 
     def _noisy(
         self, base: np.ndarray, cap: np.ndarray, coeff: float, n_run: np.ndarray
@@ -137,50 +169,41 @@ class UsageMonitor:
         mem_high = fleet.mem_band[:, 2] * mem_mult
         mem_mid_high = (fleet.mem_band[:, 1] + fleet.mem_band[:, 2]) * mem_mult
 
-        self._times.append(time)
-        self._machine_rows.append(
-            {
-                "cpu_usage": cpu,
-                "mem_usage": mem,
-                "mem_assigned": np.minimum(
-                    fleet.mem_assigned.copy(), fleet.mem_capacity
-                ),
-                "page_cache": page,
-                "cpu_mid_high": cpu_mid_high,
-                "cpu_high": cpu_high,
-                "mem_mid_high": mem_mid_high,
-                "mem_high": mem_high,
-                "n_running": fleet.n_running.copy(),
-            }
+        self._ensure_capacity()
+        i = self._n_ticks
+        buffers = self._buffers
+        self._tick_times[i] = time
+        buffers["cpu_usage"][i] = cpu
+        buffers["mem_usage"][i] = mem
+        np.minimum(
+            fleet.mem_assigned, fleet.mem_capacity, out=buffers["mem_assigned"][i]
         )
+        buffers["page_cache"][i] = page
+        buffers["cpu_mid_high"][i] = cpu_mid_high
+        buffers["cpu_high"][i] = cpu_high
+        buffers["mem_mid_high"][i] = mem_mid_high
+        buffers["mem_high"][i] = mem_high
+        buffers["n_running"][i] = n_run
+        self._n_ticks += 1
         self._cluster_rows.append(
             (time, n_pending, int(n_run.sum()), n_finished, n_abnormal)
         )
 
     def machine_usage_table(self) -> Table:
-        """All machine samples as one columnar table."""
+        """All machine samples as one columnar table.
+
+        The usage columns are zero-copy reshaped views of the tick-major
+        buffers; time/machine_id expand via ``repeat``/``tile`` exactly
+        as the per-tick concatenation used to.
+        """
         n_m = self.fleet.num_machines
-        n_t = len(self._times)
-        times = np.repeat(np.asarray(self._times), n_m)
-        machine_ids = np.tile(self.fleet.machine_ids, n_t)
-        columns: dict[str, np.ndarray] = {"time": times, "machine_id": machine_ids}
-        for name in (
-            "cpu_usage",
-            "mem_usage",
-            "mem_assigned",
-            "page_cache",
-            "cpu_mid_high",
-            "cpu_high",
-            "mem_mid_high",
-            "mem_high",
-            "n_running",
-        ):
-            if n_t:
-                columns[name] = np.concatenate(
-                    [row[name] for row in self._machine_rows]
-                )
-            else:
-                columns[name] = np.empty(0)
+        n_t = self._n_ticks
+        columns: dict[str, np.ndarray] = {
+            "time": np.repeat(self._tick_times[:n_t], n_m),
+            "machine_id": np.tile(self.fleet.machine_ids, n_t),
+        }
+        for name, _dtype in _USAGE_COLUMNS:
+            columns[name] = self._buffers[name][:n_t].reshape(-1)
         return Table(columns, schema=MACHINE_USAGE_SCHEMA)
 
     def cluster_series_table(self) -> Table:

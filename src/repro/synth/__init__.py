@@ -21,9 +21,12 @@ from .google_model import (
     FATE_CODES,
     GoogleConfig,
     TaskRequests,
+    concat_task_requests,
     generate_google_jobs,
     generate_google_trace,
     generate_task_requests,
+    generate_task_requests_chunked,
+    iter_task_requests,
 )
 from .grid_hostload import GridHostConfig, generate_grid_host_series
 from .grid_model import generate_all_grids, generate_grid_jobs, grid_preset
@@ -74,5 +77,8 @@ __all__ = [
     "generate_grid_jobs",
     "generate_machines",
     "generate_task_requests",
+    "generate_task_requests_chunked",
+    "iter_task_requests",
+    "concat_task_requests",
     "grid_preset",
 ]

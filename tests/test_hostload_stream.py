@@ -1,0 +1,208 @@
+"""Tests for the streaming usage-grid accumulator (hostload.stream)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.kernels import pooled_level_durations
+from repro.hostload.levels import _pooled_level_durations_scalar
+from repro.hostload.series import grouped_machine_series
+from repro.hostload.stream import (
+    _CAPACITY_OF,
+    USAGE_GRID_SCHEMA,
+    UsageGridAccumulator,
+)
+from repro.sim.monitor import MACHINE_USAGE_SCHEMA
+from repro.synth.machines import generate_machines
+
+PERIOD = 300.0
+
+
+@pytest.fixture
+def machines(rng):
+    return generate_machines(5, rng)
+
+
+def _random_tasks(rng, n, n_machines, horizon):
+    start = rng.uniform(-0.1 * horizon, horizon, n)
+    return {
+        "slots": rng.integers(0, n_machines, n),
+        "start": start,
+        "end": start + rng.exponential(4 * PERIOD, n),
+        "cpu": rng.uniform(0.0, 0.3, n),
+        "mem": rng.uniform(0.0, 0.2, n),
+        "band": rng.integers(0, 3, n),
+    }
+
+
+def _scalar_grid(tasks, n_machines, n_ticks, values, band_min=None):
+    """Golden reference: one Python loop over tasks, one over ticks."""
+    grid = np.zeros((n_machines, n_ticks))
+    for i in range(len(tasks["slots"])):
+        if band_min is not None and tasks["band"][i] < band_min:
+            continue
+        for k in range(n_ticks):
+            if tasks["start"][i] <= k * PERIOD < tasks["end"][i]:
+                grid[tasks["slots"][i], k] += values[i]
+    return grid
+
+
+class TestUsageGridAccumulator:
+    def test_matches_scalar_reference(self, rng, machines):
+        horizon = 40 * PERIOD
+        acc = UsageGridAccumulator(
+            machines,
+            horizon,
+            period=PERIOD,
+            attributes=("cpu_usage", "cpu_mid_high", "cpu_high", "mem_usage"),
+        )
+        tasks = _random_tasks(rng, 300, machines.num_rows, horizon)
+        acc.add_tasks(
+            tasks["slots"],
+            tasks["start"],
+            tasks["end"],
+            cpu=tasks["cpu"],
+            mem=tasks["mem"],
+            band=tasks["band"],
+        )
+        n_m, n_t = machines.num_rows, acc.num_ticks
+        for attr, values, band_min in (
+            ("cpu_usage", tasks["cpu"], None),
+            ("cpu_mid_high", tasks["cpu"], 1),
+            ("cpu_high", tasks["cpu"], 2),
+            ("mem_usage", tasks["mem"], None),
+        ):
+            ref = _scalar_grid(tasks, n_m, n_t, values, band_min)
+            np.testing.assert_allclose(
+                acc.grid(attr), ref, rtol=0, atol=1e-12, err_msg=attr
+            )
+        counts = _scalar_grid(tasks, n_m, n_t, np.ones(300))
+        np.testing.assert_array_equal(acc.grid("n_running"), counts)
+
+    def test_chunked_adds_match_single_add(self, rng, machines):
+        horizon = 20 * PERIOD
+        tasks = _random_tasks(rng, 200, machines.num_rows, horizon)
+        whole = UsageGridAccumulator(
+            machines, horizon, period=PERIOD, attributes=("cpu_usage",)
+        )
+        whole.add_tasks(
+            tasks["slots"], tasks["start"], tasks["end"], cpu=tasks["cpu"]
+        )
+        chunked = UsageGridAccumulator(
+            machines, horizon, period=PERIOD, attributes=("cpu_usage",)
+        )
+        for lo in range(0, 200, 37):
+            hi = lo + 37
+            chunked.add_tasks(
+                tasks["slots"][lo:hi],
+                tasks["start"][lo:hi],
+                tasks["end"][lo:hi],
+                cpu=tasks["cpu"][lo:hi],
+            )
+        np.testing.assert_allclose(
+            whole.grid("cpu_usage"), chunked.grid("cpu_usage"), atol=1e-12
+        )
+
+    def test_table_round_trips_through_series_extraction(self, rng, machines):
+        # The row-expanded table must feed the existing per-machine
+        # extractor; hostload can't import sim, so only the attributes
+        # needed are tracked here (full schema tested below).
+        horizon = 12 * PERIOD
+        acc = UsageGridAccumulator(machines, horizon, period=PERIOD)
+        tasks = _random_tasks(rng, 80, machines.num_rows, horizon)
+        acc.add_tasks(
+            tasks["slots"],
+            tasks["start"],
+            tasks["end"],
+            cpu=tasks["cpu"],
+            mem=tasks["mem"],
+            mem_assigned=tasks["mem"],
+            page_cache=tasks["mem"],
+            band=tasks["band"],
+        )
+        table = acc.table()
+        assert table.num_rows == machines.num_rows * acc.num_ticks
+        series = grouped_machine_series(table, machines)
+        for slot, (mid, s) in enumerate(series.items()):
+            np.testing.assert_array_equal(s.times, acc._tick_times)
+            np.testing.assert_array_equal(s.cpu, acc.grid("cpu_usage")[slot])
+            np.testing.assert_array_equal(
+                s.n_running, acc.grid("n_running")[slot]
+            )
+
+    def test_pool_matches_series_pipeline(self, rng, machines):
+        # pool() -> pooled kernel must equal the table -> series ->
+        # scalar golden pipeline, bit for bit.
+        horizon = 15 * PERIOD
+        acc = UsageGridAccumulator(machines, horizon, period=PERIOD)
+        tasks = _random_tasks(rng, 120, machines.num_rows, horizon)
+        acc.add_tasks(
+            tasks["slots"],
+            tasks["start"],
+            tasks["end"],
+            cpu=tasks["cpu"],
+            mem=tasks["mem"],
+            mem_assigned=tasks["mem"],
+            page_cache=tasks["mem"],
+            band=tasks["band"],
+        )
+        fast = pooled_level_durations(*acc.pool("cpu_usage"))
+        series = grouped_machine_series(acc.table(), machines)
+        golden = _pooled_level_durations_scalar(series, "cpu")
+        assert fast.keys() == golden.keys()
+        for lvl in fast:
+            np.testing.assert_array_equal(fast[lvl], golden[lvl])
+
+    def test_out_of_horizon_tasks_clipped(self, machines):
+        acc = UsageGridAccumulator(
+            machines, 10 * PERIOD, period=PERIOD, attributes=("cpu_usage",)
+        )
+        acc.add_tasks(
+            np.array([0, 1, 2]),
+            np.array([-5 * PERIOD, 9.5 * PERIOD, 20 * PERIOD]),
+            np.array([2.5 * PERIOD, 40 * PERIOD, 21 * PERIOD]),
+            cpu=np.array([1.0, 1.0, 1.0]),
+        )
+        grid = acc.grid("cpu_usage")
+        np.testing.assert_array_equal(grid[0], [1, 1, 1] + [0] * 8)
+        np.testing.assert_array_equal(grid[1], [0] * 10 + [1])
+        np.testing.assert_array_equal(grid[2], np.zeros(11))
+
+    def test_validation_errors(self, machines):
+        with pytest.raises(ValueError, match="horizon"):
+            UsageGridAccumulator(machines, 0.0)
+        with pytest.raises(ValueError, match="unknown attributes"):
+            UsageGridAccumulator(machines, 10.0, attributes=("bogus",))
+        acc = UsageGridAccumulator(
+            machines, 10 * PERIOD, attributes=("cpu_usage", "cpu_high")
+        )
+        one = np.array([0]), np.array([0.0]), np.array([PERIOD])
+        with pytest.raises(ValueError, match="demand array is missing"):
+            acc.add_tasks(*one)
+        with pytest.raises(ValueError, match="band is required"):
+            acc.add_tasks(*one, cpu=np.array([0.5]))
+        with pytest.raises(ValueError, match="slots out of range"):
+            acc.add_tasks(
+                np.array([99]),
+                np.array([0.0]),
+                np.array([PERIOD]),
+                cpu=np.array([0.5]),
+                band=np.array([0]),
+            )
+        with pytest.raises(KeyError, match="not tracked"):
+            acc.grid("mem_usage")
+
+
+class TestSchemaCrossCheck:
+    def test_matches_sim_monitor_schema(self):
+        # hostload sits below sim, so the schema is duplicated there;
+        # this is the cross-layer contract keeping the two in sync.
+        assert USAGE_GRID_SCHEMA == MACHINE_USAGE_SCHEMA
+
+    def test_every_float_attribute_has_a_capacity(self):
+        assert set(_CAPACITY_OF) == set(USAGE_GRID_SCHEMA) - {
+            "time",
+            "machine_id",
+            "n_running",
+        }

@@ -312,11 +312,91 @@ class TestWallClockBan:
         assert project.lint().all_diagnostics == []
 
 
+class TestRowLoopBan:
+    def test_filter_scan_loop_flagged(self, project):
+        project.write(
+            "src/repro/hostload/m.py",
+            """\
+            def split(usage, machines):
+                out = {}
+                for mid in machines["machine_id"]:
+                    out[mid] = usage.select(usage["machine_id"] == mid)
+                return out
+            """,
+        )
+        run = project.lint()
+        assert rules_at(run, "src/repro/hostload/m.py", 3) == {"REP502"}
+
+    def test_row_append_loop_flagged(self, project):
+        project.write(
+            "src/repro/core/m.py",
+            """\
+            def collect(table):
+                rows = []
+                for time, value in zip(table["time"], table["cpu_usage"]):
+                    rows.append((time, value))
+                return rows
+            """,
+        )
+        run = project.lint()
+        assert rules_at(run, "src/repro/core/m.py", 3) == {"REP502"}
+
+    def test_column_comprehension_flagged(self, project):
+        project.write(
+            "src/repro/sim/m.py",
+            """\
+            def scale(table):
+                return [v * 2.0 for v in table["cpu_usage"]]
+            """,
+        )
+        run = project.lint()
+        assert rules_at(run, "src/repro/sim/m.py", 2) == {"REP502"}
+
+    def test_vectorized_and_bounded_loops_are_clean(self, project):
+        # Per-group loops with O(1) bodies (no re-filtering, no append)
+        # and plain vectorized column math must pass.
+        project.write(
+            "src/repro/hostload/m.py",
+            """\
+            def build(machines, cols):
+                out = {}
+                for i, mid in enumerate(machines["machine_id"]):
+                    out[int(mid)] = cols["time"][i]
+                return out
+
+            def relative(table):
+                return table["cpu_usage"] / table["cpu_capacity"]
+            """,
+        )
+        assert project.lint().all_diagnostics == []
+
+    def test_unscoped_layers_and_suppressions_exempt(self, project):
+        project.write(
+            "src/repro/experiments/m.py",
+            """\
+            def rows(table):
+                return [v for v in table["wall_s"]]
+            """,
+        )
+        project.write(
+            "src/repro/core/golden.py",
+            """\
+            def scalar_reference(usage, machines):
+                out = []
+                for mid in machines["machine_id"]:  # reprolint: disable=REP502
+                    out.append((usage["machine_id"] == mid).sum())
+                return out
+            """,
+        )
+        run = project.lint("src/repro/experiments/m.py", "src/repro/core/golden.py")
+        assert run.all_diagnostics == []
+
+
 class TestFrameworkPlumbing:
     def test_every_rule_registered_once(self):
         rules = [c.rule.id for c in all_checkers()]
         assert rules == sorted(rules)
-        assert {"REP101", "REP201", "REP301", "REP401", "REP501"} <= set(rules)
+        assert {"REP101", "REP201", "REP301", "REP401", "REP501", "REP502"} <= set(rules)
 
     def test_config_round_trip(self, project):
         cfg = load_config(project.root)
@@ -373,7 +453,7 @@ class TestFrameworkPlumbing:
     def test_cli_list_rules(self, capsys):
         assert lint_main(["--list-rules"]) == 0
         out = capsys.readouterr().out
-        for rule_id in ("REP101", "REP201", "REP301", "REP401", "REP501"):
+        for rule_id in ("REP101", "REP201", "REP301", "REP401", "REP501", "REP502"):
             assert rule_id in out
 
 

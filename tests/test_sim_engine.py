@@ -47,6 +47,35 @@ class TestEventQueue:
         assert q.peek_time() == 2.0
         assert len(q) == 1
 
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"), float("-inf")])
+    def test_non_finite_time_rejected(self, bad):
+        q = EventQueue()
+        with pytest.raises(ValueError, match="finite"):
+            q.push(bad, 0)
+
+    def test_pop_batch_same_timestamp_window(self):
+        q = EventQueue()
+        q.push(1.0, 0, "a")
+        q.push(1.0, 1, "b")
+        q.push(2.0, 0, "c")
+        batch = q.pop_batch()
+        assert batch == [(1.0, 0, "a"), (1.0, 1, "b")]
+        assert q.now == 1.0
+        assert q.pop_batch() == [(2.0, 0, "c")]
+
+    def test_pop_batch_matches_one_at_a_time(self):
+        rng = np.random.default_rng(9)
+        times = np.round(rng.uniform(0, 5, 60), 1)  # forces timestamp ties
+        one, batched = EventQueue(), EventQueue()
+        for i, t in enumerate(times):
+            one.push(float(t), i % 3, i)
+            batched.push(float(t), i % 3, i)
+        singles = [one.pop() for _ in range(len(one))]
+        drained = []
+        while len(batched):
+            drained.extend(batched.pop_batch())
+        assert drained == singles
+
 
 def _task(priority=5, cpu=0.1, mem=0.1, job=0, idx=0) -> SimTask:
     return SimTask(
