@@ -11,5 +11,6 @@ from . import (  # noqa: F401
     rng,
     rowloops,
     schema_columns,
+    silentexcept,
     wallclock,
 )

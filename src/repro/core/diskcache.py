@@ -19,8 +19,12 @@ Entries are written into a temp directory and renamed into place, so
 readers never observe a half-written entry. Reads refresh the entry's
 mtime; eviction drops the least-recently-used entries once the cache
 exceeds its entry or byte budget. A corrupted entry (truncated file,
-unpicklable skeleton) is deleted and reported as a miss, so the caller
-transparently rebuilds it.
+unpicklable skeleton) is moved into a ``.quarantine/`` directory —
+kept for post-mortem inspection, never served again — and reported as
+a miss, so the caller transparently rebuilds it; the ``quarantined``
+counter surfaces the event in the run's timing footer. An entry that
+simply *vanishes* mid-read (a concurrent process evicted it between
+the existence check and the open) is a plain miss, not corruption.
 
 The codec is structural, not type-specific: it walks dataclasses,
 dicts, lists/tuples and :class:`~repro.core.table.Table` instances,
@@ -46,7 +50,26 @@ import numpy as np
 
 from .table import Table
 
-__all__ = ["MISS", "CacheStats", "DiskCache", "cache_key", "fingerprint"]
+__all__ = [
+    "MISS",
+    "CacheCorruptionError",
+    "CacheStats",
+    "DiskCache",
+    "cache_key",
+    "fingerprint",
+]
+
+
+class CacheCorruptionError(RuntimeError):
+    """A cache entry failed to decode and could not be served.
+
+    :meth:`DiskCache.get` normally self-heals (quarantine the entry,
+    report a miss, let the caller rebuild), so this error is not raised
+    on the ordinary read path. It exists as the typed marker for cache
+    corruption: fault injection raises it to exercise the supervisor's
+    ``cache-corruption`` failure class, and any code that detects
+    corruption it cannot transparently heal should raise it too.
+    """
 
 
 class _Miss:
@@ -228,6 +251,7 @@ class CacheStats:
     puts: int = 0
     evictions: int = 0
     errors: int = 0
+    quarantined: int = 0
 
     def as_dict(self) -> dict[str, int]:
         return {
@@ -236,6 +260,7 @@ class CacheStats:
             "puts": self.puts,
             "evictions": self.evictions,
             "errors": self.errors,
+            "quarantined": self.quarantined,
         }
 
     def snapshot(self) -> "CacheStats":
@@ -251,6 +276,10 @@ class CacheStats:
 _SKELETON = "skeleton.pkl"
 _PAYLOAD = "data.npz"
 _META = "meta.json"
+_QUARANTINE = ".quarantine"
+
+#: How many corrupted entries the quarantine keeps for inspection.
+_QUARANTINE_KEEP = 8
 
 
 class DiskCache:
@@ -283,8 +312,10 @@ class DiskCache:
     def get(self, key: str) -> object:
         """Return the cached object, or :data:`MISS`.
 
-        Unreadable entries (truncated payload, bad pickle) are deleted
-        and reported as a miss so callers rebuild them.
+        Unreadable entries (truncated payload, bad pickle) are moved to
+        the quarantine directory and reported as a miss so callers
+        rebuild them. An entry evicted by a concurrent process between
+        the existence check and the read is a plain miss.
         """
         entry = self._entry_dir(key)
         if not (entry / _SKELETON).exists():
@@ -299,12 +330,21 @@ class DiskCache:
                 with np.load(payload, allow_pickle=False) as npz:
                     arrays = {name: npz[name] for name in npz.files}
             obj = _decode(skeleton, arrays)
+        except FileNotFoundError:
+            # Concurrent eviction won the race; nothing is wrong with
+            # the (now absent) entry.
+            self.stats.misses += 1
+            return MISS
         except Exception:
             self.stats.errors += 1
             self.stats.misses += 1
-            shutil.rmtree(entry, ignore_errors=True)
+            self._quarantine(entry)
             return MISS
-        os.utime(entry)  # LRU touch
+        try:
+            os.utime(entry)  # LRU touch
+        except OSError:
+            # Entry evicted concurrently after the read; data is intact.
+            pass
         self.stats.hits += 1
         return obj
 
@@ -360,6 +400,46 @@ class DiskCache:
 
     def _entry_dir(self, key: str) -> Path:
         return self.root / key[:2] / key
+
+    def quarantine_dir(self) -> Path:
+        """Where corrupted entries are parked for inspection."""
+        return self.root / _QUARANTINE
+
+    def quarantined_entries(self) -> list[str]:
+        """Keys currently held in quarantine (unordered)."""
+        qdir = self.quarantine_dir()
+        if not qdir.is_dir():
+            return []
+        return [d.name for d in qdir.iterdir() if d.is_dir()]
+
+    def _quarantine(self, entry: Path) -> None:
+        """Move a corrupted entry aside instead of serving it again.
+
+        The moved entry keeps its files for post-mortem inspection; the
+        quarantine is pruned to the most recent few so corruption storms
+        cannot grow without bound. If the move itself fails (another
+        process already moved or deleted the entry) the entry is simply
+        removed.
+        """
+        qdir = self.quarantine_dir()
+        dest = qdir / entry.name
+        try:
+            qdir.mkdir(parents=True, exist_ok=True)
+            if dest.exists():
+                shutil.rmtree(dest, ignore_errors=True)
+            os.rename(entry, dest)
+        except OSError:
+            shutil.rmtree(entry, ignore_errors=True)
+        self.stats.quarantined += 1
+        try:
+            parked = sorted(
+                (d for d in qdir.iterdir() if d.is_dir()),
+                key=lambda d: (d.stat().st_mtime, d.name),
+            )
+        except OSError:
+            return
+        for stale in parked[: max(0, len(parked) - _QUARANTINE_KEEP)]:
+            shutil.rmtree(stale, ignore_errors=True)
 
     def _scan(self) -> list[tuple[Path, float, int]]:
         """(entry dir, mtime, payload bytes) for every complete entry."""

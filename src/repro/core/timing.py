@@ -17,7 +17,24 @@ from dataclasses import dataclass
 
 from .report import render_table
 
-__all__ = ["StageStats", "Timings", "render_timings"]
+__all__ = ["RECOVERY_COUNTERS", "StageStats", "Timings", "render_timings"]
+
+#: Counters the supervised runner and disk cache emit while recovering
+#: from faults (retries, worker crashes, timeouts, requeued attempts,
+#: quarantined cache entries, ...). They are rendered on their own
+#: ``recovery:`` footer line so a degraded-but-successful run is
+#: visible at a glance instead of buried among cache statistics.
+RECOVERY_COUNTERS = (
+    "retries",
+    "worker_crashes",
+    "experiment_timeouts",
+    "requeued",
+    "cancelled",
+    "resumed",
+    "faults_injected",
+    "cache_quarantined",
+    "cache_errors",
+)
 
 
 @dataclass
@@ -107,9 +124,20 @@ def render_timings(timings: Timings, title: str = "timing:") -> str:
         for name, stats in timings.stages.items()
     ]
     parts = [render_table(("stage", "calls", "wall s", "cpu s"), rows, title=title)]
-    if timings.counters:
-        counts = ", ".join(
-            f"{name}={n}" for name, n in sorted(timings.counters.items())
-        )
+    plain = {
+        name: n
+        for name, n in timings.counters.items()
+        if name not in RECOVERY_COUNTERS
+    }
+    if plain:
+        counts = ", ".join(f"{name}={n}" for name, n in sorted(plain.items()))
         parts.append(f"counters: {counts}")
+    recovery = {
+        name: timings.counters[name]
+        for name in RECOVERY_COUNTERS
+        if timings.counters.get(name)
+    }
+    if recovery:
+        counts = ", ".join(f"{name}={n}" for name, n in recovery.items())
+        parts.append(f"recovery: {counts}")
     return "\n".join(parts)

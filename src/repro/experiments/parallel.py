@@ -1,92 +1,31 @@
-"""Parallel experiment execution with a shared dataset warm-up pass.
+"""Parallel experiment execution (compatibility front-end).
 
-The registry's 23 experiments are independent once the two shared
-datasets exist, so they fan out over a process pool. One warm-up pass
-builds (or loads from the disk cache) the datasets before the pool
-starts; workers then find them in the forked memo or the disk cache
-instead of each re-simulating the cluster month.
-
-Results are returned in the caller's id order regardless of which
-worker finishes first, and every experiment's output depends only on
-``(scale, seed)``, so a parallel run's rendered report is byte-
-identical to the serial one. Failures are captured per experiment —
-one broken experiment does not abort the rest.
+The fan-out engine lives in :mod:`repro.experiments.supervisor`: every
+attempt runs in its own forked worker with crash/timeout classification,
+so one broken worker never takes down the run. This module keeps the
+original simple entry point: :func:`run_experiments` runs serially
+in-process for ``jobs <= 1`` (fast path for library use and tests) and
+hands anything parallel to the supervisor with a default, no-retry
+policy. Results come back in the caller's id order and every rendered
+output depends only on ``(scale, seed)``, so a parallel run's report is
+byte-identical to the serial one.
 """
 
 from __future__ import annotations
 
-import multiprocessing
-import traceback
 from collections.abc import Sequence
-from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass, field
-from pathlib import Path
 
 from ..core.timing import Timings
 from . import datasets
-from .registry import run_experiment
+from .supervisor import (
+    ExperimentOutcome,
+    SupervisorConfig,
+    run_one,
+    run_supervised,
+    warm_datasets,
+)
 
 __all__ = ["ExperimentOutcome", "run_experiments", "warm_datasets"]
-
-
-@dataclass
-class ExperimentOutcome:
-    """One experiment's rendered result (or failure) plus its cost."""
-
-    experiment_id: str
-    ok: bool
-    rendered: str = ""
-    error: str = ""
-    timings: Timings = field(default_factory=Timings)
-
-
-def warm_datasets(scale: str, seed: int) -> None:
-    """Build or disk-load the shared datasets once, ahead of a fan-out."""
-    datasets.workload_dataset(scale, seed)
-    datasets.simulation_dataset(scale, seed)
-
-
-def _run_one(experiment_id: str, scale: str, seed: int) -> ExperimentOutcome:
-    """Run and render one experiment, capturing failures and timing."""
-    outcome = ExperimentOutcome(experiment_id=experiment_id, ok=True)
-    stats_before = dict(datasets.dataset_stats())
-    try:
-        with outcome.timings.stage(f"run:{experiment_id}"):
-            result = run_experiment(experiment_id, scale=scale, seed=seed)
-        with outcome.timings.stage(f"render:{experiment_id}"):
-            outcome.rendered = result.render()
-    except Exception as exc:
-        outcome.ok = False
-        outcome.error = "".join(
-            traceback.format_exception_only(type(exc), exc)
-        ).strip()
-    stats_after = datasets.dataset_stats()
-    outcome.timings.merge_counts(
-        {
-            name: stats_after.get(name, 0) - stats_before.get(name, 0)
-            for name in stats_after
-        }
-    )
-    return outcome
-
-
-def _init_worker(cache_dir: str | None) -> None:
-    """Configure the dataset cache inside a pool worker.
-
-    Needed for spawn start methods; under fork the configuration (and
-    the warmed dataset memo) is inherited, and reconfiguring would
-    clear that memo, so only reconfigure when the target differs.
-    """
-    current = datasets.dataset_cache()
-    current_dir = str(current.root) if current is not None else None
-    if current_dir != cache_dir:
-        datasets.configure_cache(Path(cache_dir) if cache_dir else None)
-    datasets.reset_dataset_stats()
-
-
-def _worker_task(task: tuple[str, str, int]) -> ExperimentOutcome:
-    experiment_id, scale, seed = task
-    return _run_one(experiment_id, scale, seed)
 
 
 def run_experiments(
@@ -97,53 +36,34 @@ def run_experiments(
     jobs: int = 1,
     timings: Timings | None = None,
 ) -> list[ExperimentOutcome]:
-    """Run experiments serially (``jobs<=1``) or over a process pool.
+    """Run experiments serially (``jobs<=1``) or under the supervisor.
 
     The returned list matches ``ids`` order. When ``timings`` is given,
     the warm-up stage, every experiment's stages, and the dataset
     cache counters are folded into it.
     """
     timings = timings if timings is not None else Timings()
-    parent_before = dict(datasets.dataset_stats())
-
-    def _parent_delta() -> dict[str, int]:
-        after = datasets.dataset_stats()
-        return {
-            name: after.get(name, 0) - parent_before.get(name, 0)
-            for name in after
-        }
 
     if jobs <= 1 or len(ids) <= 1:
-        outcomes = [_run_one(exp_id, scale, seed) for exp_id in ids]
+        parent_before = dict(datasets.dataset_stats())
+        outcomes = [run_one(exp_id, scale, seed) for exp_id in ids]
         # Per-experiment counter deltas already accumulate in this
         # process's dataset stats (merged below); only stages here.
         for outcome in outcomes:
             timings.merge(outcome.timings, counters=False)
-        timings.merge_counts(_parent_delta())
+        parent_after = datasets.dataset_stats()
+        timings.merge_counts(
+            {
+                name: parent_after.get(name, 0) - parent_before.get(name, 0)
+                for name in parent_after
+            }
+        )
         return outcomes
 
-    with timings.stage("warm-datasets"):
-        warm_datasets(scale, seed)
-
-    cache = datasets.dataset_cache()
-    cache_dir = str(cache.root) if cache is not None else None
-    # Prefer fork so workers inherit the warmed in-process memo; fall
-    # back to the platform default where fork is unavailable.
-    methods = multiprocessing.get_all_start_methods()
-    method = "fork" if "fork" in methods else None
-    ctx = multiprocessing.get_context(method)
-    with ProcessPoolExecutor(
-        max_workers=min(jobs, len(ids)),
-        mp_context=ctx,
-        initializer=_init_worker,
-        initargs=(cache_dir,),
-    ) as pool:
-        outcomes = list(
-            pool.map(_worker_task, [(exp_id, scale, seed) for exp_id in ids])
-        )
-    # Run-level counters: the parent's warm-up traffic plus each
-    # worker's own deltas (zero under fork, real under spawn).
-    for outcome in outcomes:
-        timings.merge(outcome.timings)
-    timings.merge_counts(_parent_delta())
-    return outcomes
+    return run_supervised(
+        ids,
+        scale=scale,
+        seed=seed,
+        config=SupervisorConfig(jobs=jobs),
+        timings=timings,
+    )

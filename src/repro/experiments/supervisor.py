@@ -1,0 +1,638 @@
+"""Supervised experiment execution: timeouts, retries, checkpoint-resume.
+
+The registry's experiments are pure functions of ``(scale, seed)``, so
+a harness failure — a worker OOM-killed mid-simulation, a hang, a
+corrupted cache entry — never changes *what* the run would produce,
+only *whether* it finishes. This module makes the harness survive those
+failures instead of amplifying them:
+
+* Every attempt runs in its own forked worker process with a one-shot
+  result pipe. A crash or hang therefore has a blast radius of exactly
+  one attempt: there is no shared pool to break, nothing to rebuild,
+  and "requeue only unfinished work" is the only possible behaviour.
+* Failures are classified — ``crash`` (worker died), ``timeout``
+  (exceeded the per-experiment wall-clock budget and was killed),
+  ``cache-corruption`` (a typed corruption error surfaced), or
+  ``exception`` (the experiment itself raised). The first three are
+  transient and retried with capped exponential backoff; exceptions are
+  deterministic under the purity contract, so retrying them would waste
+  exactly one identical failure per retry and they fail fast instead.
+* Backoff jitter is *seeded*, not sampled from the wall clock: the
+  delay is a pure function of ``(seed, experiment_id, attempt)``
+  (REP501-clean), so a faulted run's retry schedule is reproducible.
+* Completed outcomes are appended to a fsync'd JSONL journal under the
+  cache directory. ``repro-run --resume <run-id>`` replays finished
+  experiments from the journal and executes only the rest; because the
+  journal stores the rendered text verbatim, a resumed run's stdout is
+  byte-identical to an uninterrupted one.
+* An overall run deadline (and ``--fail-fast``) cancels gracefully:
+  live workers are terminated, unstarted work is marked ``cancelled``,
+  and everything already finished is kept (and journaled).
+
+Scheduling order never affects output: results are returned in the
+caller's id order, and each rendered result depends only on
+``(scale, seed)``. Faults, retries and resume change timing and
+counters — observability channels — never stdout.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import multiprocessing
+import os
+import time
+import traceback
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass, field
+from multiprocessing.connection import wait as _connection_wait
+from pathlib import Path
+
+from .. import __version__
+from ..core.diskcache import CacheCorruptionError
+from ..core.timing import Timings
+from . import datasets
+from .faults import FaultPlan
+from .registry import run_experiment
+
+__all__ = [
+    "ExperimentOutcome",
+    "SupervisorConfig",
+    "TRANSIENT_KINDS",
+    "backoff_delay",
+    "journal_path",
+    "load_journal",
+    "run_id",
+    "run_one",
+    "run_supervised",
+    "warm_datasets",
+]
+
+#: Failure classes the supervisor retries (capped by ``retries``).
+#: ``exception`` is deterministic under the purity contract and is not.
+TRANSIENT_KINDS = frozenset({"crash", "timeout", "cache-corruption"})
+
+
+def _now() -> float:
+    """Scheduling clock for timeouts/deadlines (observability only).
+
+    Never feeds rendered results — REP501's determinism contract is
+    about outputs, and the supervisor only uses the clock to decide
+    *when* to run work whose *content* is fixed by ``(scale, seed)``.
+    """
+    return time.monotonic()  # reprolint: disable=REP501
+
+
+@dataclass
+class ExperimentOutcome:
+    """One experiment's rendered result (or failure) plus its cost."""
+
+    experiment_id: str
+    ok: bool
+    rendered: str = ""
+    error: str = ""
+    #: "" on success; one of crash | timeout | exception |
+    #: cache-corruption | cancelled on failure.
+    error_kind: str = ""
+    #: 1-based number of the attempt that produced this outcome.
+    attempts: int = 1
+    #: True when served from a resume journal instead of executed.
+    resumed: bool = False
+    timings: Timings = field(default_factory=Timings)
+
+    def as_journal_dict(self) -> dict[str, object]:
+        return {
+            "id": self.experiment_id,
+            "ok": self.ok,
+            "rendered": self.rendered,
+            "error": self.error,
+            "error_kind": self.error_kind,
+            "attempts": self.attempts,
+        }
+
+    @classmethod
+    def from_journal_dict(cls, entry: Mapping[str, object]) -> "ExperimentOutcome":
+        return cls(
+            experiment_id=str(entry["id"]),
+            ok=bool(entry["ok"]),
+            rendered=str(entry.get("rendered", "")),
+            error=str(entry.get("error", "")),
+            error_kind=str(entry.get("error_kind", "")),
+            attempts=int(entry.get("attempts", 1)),  # type: ignore[arg-type]
+            resumed=True,
+        )
+
+
+@dataclass(frozen=True)
+class SupervisorConfig:
+    """Fault-tolerance policy for one supervised run."""
+
+    jobs: int = 1
+    #: Per-experiment wall-clock budget; a worker past it is killed and
+    #: the attempt classified ``timeout``. ``None`` disables.
+    timeout: float | None = None
+    #: Extra attempts allowed per experiment for transient failures.
+    retries: int = 0
+    #: Overall run budget; when exceeded, live workers are terminated
+    #: and remaining work is marked ``cancelled``. ``None`` disables.
+    deadline: float | None = None
+    #: First-retry backoff, doubling per attempt up to ``backoff_cap``.
+    backoff_base: float = 0.25
+    backoff_cap: float = 30.0
+    #: Cancel the rest of the run on the first permanent failure.
+    fail_fast: bool = False
+    #: Supervision loop granularity (result/deadline polling).
+    poll_interval: float = 0.05
+
+
+def backoff_delay(
+    seed: int,
+    experiment_id: str,
+    attempt: int,
+    *,
+    base: float = 0.25,
+    cap: float = 30.0,
+) -> float:
+    """Deterministic capped exponential backoff with seeded jitter.
+
+    A pure function of ``(seed, experiment_id, attempt)``: the raw
+    delay doubles per failed attempt up to ``cap``, then jitter drawn
+    from a SHA-256 of the inputs spreads it over ``[raw/2, raw)`` so
+    concurrent retries decorrelate without any wall-clock RNG.
+    """
+    raw = min(cap, base * (2.0 ** max(0, attempt - 1)))
+    digest = hashlib.sha256(
+        f"{seed}:{experiment_id}:{attempt}".encode("utf-8")
+    ).digest()
+    jitter = int.from_bytes(digest[:8], "big") / 2.0**64  # [0, 1)
+    return raw * (0.5 + 0.5 * jitter)
+
+
+def classify_exception(exc: BaseException) -> str:
+    """Map an in-worker exception to a failure class."""
+    if isinstance(exc, CacheCorruptionError):
+        return "cache-corruption"
+    return "exception"
+
+
+def warm_datasets(scale: str, seed: int) -> None:
+    """Build or disk-load the shared datasets once, ahead of a fan-out."""
+    datasets.workload_dataset(scale, seed)
+    datasets.simulation_dataset(scale, seed)
+
+
+def run_one(
+    experiment_id: str,
+    scale: str,
+    seed: int,
+    *,
+    attempt: int = 1,
+    plan: FaultPlan | None = None,
+) -> ExperimentOutcome:
+    """Run and render one experiment, capturing failures and timing.
+
+    The fault plan (if any) triggers before the experiment so injected
+    misbehaviour lands on a precise ``(experiment, attempt)``.
+    """
+    outcome = ExperimentOutcome(
+        experiment_id=experiment_id, ok=True, attempts=attempt
+    )
+    stats_before = dict(datasets.dataset_stats())
+    try:
+        if plan is not None:
+            plan.trigger(experiment_id, attempt, timings=outcome.timings)
+        with outcome.timings.stage(f"run:{experiment_id}"):
+            result = run_experiment(experiment_id, scale=scale, seed=seed)
+        with outcome.timings.stage(f"render:{experiment_id}"):
+            outcome.rendered = result.render()
+    except Exception as exc:
+        outcome.ok = False
+        outcome.error = "".join(
+            traceback.format_exception_only(type(exc), exc)
+        ).strip()
+        outcome.error_kind = classify_exception(exc)
+    stats_after = datasets.dataset_stats()
+    outcome.timings.merge_counts(
+        {
+            name: stats_after.get(name, 0) - stats_before.get(name, 0)
+            for name in stats_after
+        }
+    )
+    return outcome
+
+
+# -- run identity and journal -------------------------------------------------
+
+
+def run_id(ids: Sequence[str], scale: str, seed: int) -> str:
+    """Deterministic id of one run configuration.
+
+    A pure function of the experiment list, scale, seed and code
+    version, so an interrupted invocation and its resume agree on the
+    journal location without any session state.
+    """
+    payload = json.dumps(
+        {
+            "ids": list(ids),
+            "scale": scale,
+            "seed": seed,
+            "version": __version__,
+            "cache": datasets.DATASET_CACHE_VERSION,
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:12]
+
+
+def journal_path(cache_dir: str | Path, run: str) -> Path:
+    """Where the run's checkpoint journal lives under the cache dir."""
+    return Path(cache_dir) / "runs" / run / "journal.jsonl"
+
+
+def write_journal_header(
+    path: Path, ids: Sequence[str], scale: str, seed: int
+) -> None:
+    """Start a fresh journal (truncating any previous run's)."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    header = {
+        "run": run_id(ids, scale, seed),
+        "ids": list(ids),
+        "scale": scale,
+        "seed": seed,
+        "version": __version__,
+    }
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(json.dumps(header, sort_keys=True) + "\n")
+        fh.flush()
+        os.fsync(fh.fileno())
+
+
+def append_journal(path: Path, outcome: ExperimentOutcome) -> None:
+    """Checkpoint one finished outcome (flushed and fsync'd).
+
+    A SIGKILL mid-append leaves at most one truncated trailing line,
+    which :func:`load_journal` tolerates; everything before it is
+    durable, so a resume re-executes at most the in-flight experiments.
+    """
+    line = json.dumps(outcome.as_journal_dict(), sort_keys=True)
+    with open(path, "a", encoding="utf-8") as fh:
+        fh.write(line + "\n")
+        fh.flush()
+        os.fsync(fh.fileno())
+
+
+def load_journal(
+    path: Path,
+) -> tuple[dict[str, object], dict[str, ExperimentOutcome]]:
+    """Read a journal: (header, completed outcomes by experiment id).
+
+    Truncated or garbled trailing lines — the expected residue of a
+    kill mid-write — are skipped rather than fatal.
+    """
+    header: dict[str, object] = {}
+    completed: dict[str, ExperimentOutcome] = {}
+    with open(path, "r", encoding="utf-8") as fh:
+        for index, line in enumerate(fh):
+            try:
+                entry = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if not isinstance(entry, dict):
+                continue
+            if index == 0 and "run" in entry:
+                header = entry
+                continue
+            if "id" not in entry:
+                continue
+            outcome = ExperimentOutcome.from_journal_dict(entry)
+            completed[outcome.experiment_id] = outcome
+    return header, completed
+
+
+# -- the supervised executor --------------------------------------------------
+
+
+def _child_main(
+    conn,
+    experiment_id: str,
+    scale: str,
+    seed: int,
+    attempt: int,
+    plan: FaultPlan | None,
+    cache_dir: str | None,
+) -> None:
+    """Worker entry point: run one attempt, ship the outcome, exit.
+
+    Under fork the dataset memo and cache configuration are inherited;
+    under spawn the cache is reconfigured from ``cache_dir`` (matching
+    targets keep an inherited memo intact).
+    """
+    try:
+        current = datasets.dataset_cache()
+        current_dir = str(current.root) if current is not None else None
+        if current_dir != cache_dir:
+            datasets.configure_cache(Path(cache_dir) if cache_dir else None)
+        outcome = run_one(
+            experiment_id, scale, seed, attempt=attempt, plan=plan
+        )
+        conn.send(outcome)
+    finally:
+        conn.close()
+
+
+@dataclass
+class _Running:
+    """Book-keeping for one live worker attempt."""
+
+    experiment_id: str
+    attempt: int
+    process: multiprocessing.process.BaseProcess
+    conn: object  # parent end of the result pipe
+    kill_at: float | None  # monotonic deadline, None = no timeout
+
+
+@dataclass
+class _Pending:
+    """An attempt waiting for a worker slot (possibly in backoff)."""
+
+    experiment_id: str
+    attempt: int = 1
+    eligible_at: float = 0.0  # monotonic time before which it must wait
+
+
+def _terminate(worker: _Running) -> None:
+    """Stop a live worker, escalating SIGTERM -> SIGKILL."""
+    process = worker.process
+    if process.is_alive():
+        process.terminate()
+        process.join(timeout=1.0)
+        if process.is_alive():
+            process.kill()
+            process.join(timeout=5.0)
+    try:
+        worker.conn.close()  # type: ignore[attr-defined]
+    except OSError:
+        pass
+
+
+def run_supervised(
+    ids: Sequence[str],
+    *,
+    scale: str = "paper",
+    seed: int = 0,
+    config: SupervisorConfig | None = None,
+    timings: Timings | None = None,
+    plan: FaultPlan | None = None,
+    journal: Path | None = None,
+    completed: Mapping[str, ExperimentOutcome] | None = None,
+) -> list[ExperimentOutcome]:
+    """Run experiments under supervision; returns outcomes in id order.
+
+    ``completed`` holds journal-loaded outcomes from an interrupted
+    run: successful ones are served as-is (marked ``resumed``), failed
+    ones are re-executed. When ``journal`` is given, every finished
+    outcome is checkpointed there as it completes.
+    """
+    config = config if config is not None else SupervisorConfig()
+    timings = timings if timings is not None else Timings()
+    parent_before = dict(datasets.dataset_stats())
+
+    results: dict[str, ExperimentOutcome] = {}
+    pending: list[_Pending] = []
+    for experiment_id in ids:
+        previous = (completed or {}).get(experiment_id)
+        if previous is not None and previous.ok:
+            results[experiment_id] = previous
+            timings.count("resumed")
+        else:
+            pending.append(_Pending(experiment_id))
+
+    if pending:
+        with timings.stage("warm-datasets"):
+            warm_datasets(scale, seed)
+
+    cache = datasets.dataset_cache()
+    cache_dir = str(cache.root) if cache is not None else None
+    methods = multiprocessing.get_all_start_methods()
+    ctx = multiprocessing.get_context(
+        "fork" if "fork" in methods else None
+    )
+
+    run_deadline = (
+        _now() + config.deadline if config.deadline is not None else None
+    )
+    running: list[_Running] = []
+    cancel_reason: str | None = None
+
+    def finalize(outcome: ExperimentOutcome) -> None:
+        results[outcome.experiment_id] = outcome
+        timings.merge(outcome.timings)
+        if journal is not None and outcome.error_kind != "cancelled":
+            append_journal(journal, outcome)
+
+    def schedule_retry(item: _Pending, outcome: ExperimentOutcome) -> bool:
+        """Requeue a transient failure; False when retries are spent."""
+        if (
+            outcome.error_kind not in TRANSIENT_KINDS
+            or item.attempt > config.retries
+        ):
+            return False
+        delay = backoff_delay(
+            seed,
+            item.experiment_id,
+            item.attempt,
+            base=config.backoff_base,
+            cap=config.backoff_cap,
+        )
+        pending.append(
+            _Pending(
+                experiment_id=item.experiment_id,
+                attempt=item.attempt + 1,
+                eligible_at=_now() + delay,
+            )
+        )
+        timings.count("retries")
+        timings.count("requeued")
+        return True
+
+    def cancel_remaining(reason: str) -> None:
+        for worker in running:
+            _terminate(worker)
+            finalize(
+                ExperimentOutcome(
+                    experiment_id=worker.experiment_id,
+                    ok=False,
+                    error=f"cancelled: {reason}",
+                    error_kind="cancelled",
+                    attempts=worker.attempt,
+                )
+            )
+            timings.count("cancelled")
+        running.clear()
+        for item in pending:
+            finalize(
+                ExperimentOutcome(
+                    experiment_id=item.experiment_id,
+                    ok=False,
+                    error=f"cancelled: {reason}",
+                    error_kind="cancelled",
+                    attempts=max(1, item.attempt - 1),
+                )
+            )
+            timings.count("cancelled")
+        pending.clear()
+
+    while pending or running:
+        now = _now()
+        if run_deadline is not None and now >= run_deadline:
+            cancel_remaining("run deadline exceeded")
+            break
+        if cancel_reason is not None:
+            cancel_remaining(cancel_reason)
+            break
+
+        # Launch eligible work into free slots.
+        launchable = [
+            item for item in pending if item.eligible_at <= now
+        ]
+        while launchable and len(running) < max(1, config.jobs):
+            item = launchable.pop(0)
+            pending.remove(item)
+            parent_conn, child_conn = ctx.Pipe(duplex=False)
+            process = ctx.Process(
+                target=_child_main,
+                args=(
+                    child_conn,
+                    item.experiment_id,
+                    scale,
+                    seed,
+                    item.attempt,
+                    plan,
+                    cache_dir,
+                ),
+            )
+            process.start()
+            child_conn.close()
+            kill_at = (
+                now + config.timeout if config.timeout is not None else None
+            )
+            if run_deadline is not None:
+                kill_at = (
+                    run_deadline if kill_at is None else min(kill_at, run_deadline)
+                )
+            running.append(
+                _Running(
+                    experiment_id=item.experiment_id,
+                    attempt=item.attempt,
+                    process=process,
+                    conn=parent_conn,
+                    kill_at=kill_at,
+                )
+            )
+
+        if not running:
+            # Everything pending is in backoff; sleep until the nearest
+            # retry becomes eligible (bounded by the poll interval floor
+            # and the run deadline).
+            if pending:
+                wake = min(item.eligible_at for item in pending)
+                sleep_s = max(config.poll_interval, wake - _now())
+                if run_deadline is not None:
+                    sleep_s = min(sleep_s, max(0.0, run_deadline - _now()))
+                time.sleep(sleep_s)
+            continue
+
+        # Wait until a worker reports, dies, or a deadline needs checking.
+        waitables = [worker.conn for worker in running] + [
+            worker.process.sentinel for worker in running
+        ]
+        timeout = config.poll_interval
+        kill_ats = [w.kill_at for w in running if w.kill_at is not None]
+        if kill_ats:
+            timeout = max(0.0, min(min(kill_ats) - _now(), timeout))
+        _connection_wait(waitables, timeout=timeout)
+
+        still_running: list[_Running] = []
+        for worker in running:
+            item = _Pending(worker.experiment_id, worker.attempt)
+            outcome: ExperimentOutcome | None = None
+            if worker.conn.poll():  # type: ignore[attr-defined]
+                try:
+                    outcome = worker.conn.recv()  # type: ignore[attr-defined]
+                except (EOFError, OSError):
+                    outcome = None  # died mid-send: treat as a crash
+            if outcome is not None:
+                worker.process.join()
+                worker.conn.close()  # type: ignore[attr-defined]
+                if outcome.ok or not schedule_retry(item, outcome):
+                    finalize(outcome)
+                    if not outcome.ok and config.fail_fast:
+                        cancel_reason = (
+                            f"fail-fast after {outcome.experiment_id} "
+                            f"failed ({outcome.error_kind})"
+                        )
+                continue
+            if not worker.process.is_alive():
+                worker.process.join()
+                worker.conn.close()  # type: ignore[attr-defined]
+                code = worker.process.exitcode
+                timings.count("worker_crashes")
+                crashed = ExperimentOutcome(
+                    experiment_id=worker.experiment_id,
+                    ok=False,
+                    error=(
+                        f"worker for {worker.experiment_id} died with exit "
+                        f"code {code} (attempt {worker.attempt})"
+                    ),
+                    error_kind="crash",
+                    attempts=worker.attempt,
+                )
+                if not schedule_retry(item, crashed):
+                    finalize(crashed)
+                    if config.fail_fast:
+                        cancel_reason = (
+                            f"fail-fast after {worker.experiment_id} "
+                            "failed (crash)"
+                        )
+                continue
+            if worker.kill_at is not None and _now() >= worker.kill_at:
+                _terminate(worker)
+                timings.count("experiment_timeouts")
+                timed_out = ExperimentOutcome(
+                    experiment_id=worker.experiment_id,
+                    ok=False,
+                    error=(
+                        f"experiment {worker.experiment_id} exceeded its "
+                        f"{config.timeout:.1f}s timeout "
+                        f"(attempt {worker.attempt}); worker killed"
+                    )
+                    if config.timeout is not None
+                    else (
+                        f"experiment {worker.experiment_id} killed at the "
+                        f"run deadline (attempt {worker.attempt})"
+                    ),
+                    error_kind="timeout",
+                    attempts=worker.attempt,
+                )
+                if not schedule_retry(item, timed_out):
+                    finalize(timed_out)
+                    if config.fail_fast:
+                        cancel_reason = (
+                            f"fail-fast after {worker.experiment_id} "
+                            "failed (timeout)"
+                        )
+                continue
+            still_running.append(worker)
+        running = still_running
+
+    # Run-level counters: the parent's warm-up traffic plus each
+    # worker's own deltas (carried in the outcomes' timings).
+    parent_after = datasets.dataset_stats()
+    timings.merge_counts(
+        {
+            name: parent_after.get(name, 0) - parent_before.get(name, 0)
+            for name in parent_after
+        }
+    )
+    return [results[experiment_id] for experiment_id in ids]

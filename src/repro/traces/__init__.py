@@ -3,7 +3,14 @@
 from .convert import grid_jobs_to_job_table, job_interarrival_times
 from .google import GoogleTrace, completion_mix, job_lengths, task_lengths
 from .gwa import gwa_table, read_gwa, write_gwa
-from .io import load_trace, read_csv, save_trace, write_csv
+from .io import (
+    TraceParseError,
+    TraceParseWarning,
+    load_trace,
+    read_csv,
+    save_trace,
+    write_csv,
+)
 from .schema import (
     ABNORMAL_EVENTS,
     GWA_JOB_SCHEMA,
@@ -46,6 +53,8 @@ __all__ = [
     "Table",
     "TaskEvent",
     "TaskState",
+    "TraceParseError",
+    "TraceParseWarning",
     "ValidationError",
     "completion_mix",
     "concat_tables",

@@ -10,12 +10,11 @@ parser/writer compatible with the archive's conventions: ``-1`` encodes
 
 from __future__ import annotations
 
-import gzip
-import io
 from pathlib import Path
 
 import numpy as np
 
+from .io import _open_text, read_numeric_lines
 from .schema import GWA_JOB_SCHEMA
 from .table import Table
 
@@ -65,13 +64,6 @@ def gwa_table(**columns: np.ndarray) -> Table:
     return Table(full, schema=GWA_JOB_SCHEMA)
 
 
-def _open_text(path: Path, mode: str) -> io.TextIOBase:
-    # Pin the encoding so parsing never depends on the host locale.
-    if path.suffix == ".gz":
-        return gzip.open(path, mode + "t", encoding="utf-8")  # type: ignore[return-value]
-    return open(path, mode, encoding="utf-8")
-
-
 def write_gwa(table: Table, path: str | Path) -> None:
     """Write a GWA job table to a (optionally gzipped) text file."""
     path = Path(path)
@@ -94,22 +86,22 @@ def _format(value: object) -> str:
     return repr(f)
 
 
-def read_gwa(path: str | Path) -> Table:
-    """Read a GWA job table written by :func:`write_gwa` (or archive-like)."""
+def read_gwa(path: str | Path, *, strict: bool = True) -> Table:
+    """Read a GWA job table written by :func:`write_gwa` (or archive-like).
+
+    Strict mode raises :class:`~repro.traces.io.TraceParseError` with
+    ``file:line`` context at the first malformed line, garbage byte or
+    truncated stream; ``strict=False`` skips such defects, counting and
+    reporting them via :class:`~repro.traces.io.TraceParseWarning`.
+    """
     path = Path(path)
-    rows: list[list[float]] = []
-    with _open_text(path, "r") as fh:
-        for line in fh:
-            line = line.strip()
-            if not line or line.startswith("#") or line.startswith(";"):
-                continue
-            parts = line.split()
-            if len(parts) < len(_FIELDS):
-                raise ValueError(
-                    f"GWA line has {len(parts)} fields, expected {len(_FIELDS)}: "
-                    f"{line[:80]!r}"
-                )
-            rows.append([float(p) for p in parts[: len(_FIELDS)]])
+    rows = read_numeric_lines(
+        path,
+        min_fields=len(_FIELDS),
+        strict=strict,
+        comments=("#", ";"),
+        format_name="GWA",
+    )
     if not rows:
         data = np.empty((0, len(_FIELDS)))
     else:

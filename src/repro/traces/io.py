@@ -3,6 +3,17 @@
 The Google clusterdata release ships tables as gzipped CSV shards; this
 module provides the same serialization for any of our tables, plus a
 directory-level save/load for a whole :class:`GoogleTrace`.
+
+It also hosts the parse-robustness layer shared by every text trace
+reader (CSV here, SWF and GWA in their modules): real archive files
+arrive truncated, with garbage bytes, or with malformed lines, and a
+characterization run should not abort at paper scale because one line
+out of millions is broken. Every reader therefore takes ``strict``
+(default ``True``): strict mode raises :class:`TraceParseError` with
+``file:line`` context at the first defect; lenient mode
+(``strict=False``) skips malformed or truncated input, counts what it
+skipped, and reports the total — again with ``file:line`` context —
+through a :class:`TraceParseWarning`.
 """
 
 from __future__ import annotations
@@ -10,7 +21,9 @@ from __future__ import annotations
 import gzip
 import io
 import json
-from collections.abc import Mapping
+import warnings
+import zlib
+from collections.abc import Mapping, Sequence
 from pathlib import Path
 
 import numpy as np
@@ -24,14 +37,135 @@ from .schema import (
 )
 from .table import Table
 
-__all__ = ["write_csv", "read_csv", "save_trace", "load_trace"]
+__all__ = [
+    "TraceParseError",
+    "TraceParseWarning",
+    "write_csv",
+    "read_csv",
+    "save_trace",
+    "load_trace",
+]
 
 
-def _open_text(path: Path, mode: str) -> io.TextIOBase:
-    # Pin the encoding so parsing never depends on the host locale.
+class TraceParseError(ValueError):
+    """A trace file failed to parse; carries ``file:line`` context."""
+
+    def __init__(self, path: str | Path, line: int, reason: str) -> None:
+        self.path = str(path)
+        self.line = line
+        self.reason = reason
+        super().__init__(f"{self.path}:{line}: {reason}")
+
+
+class TraceParseWarning(UserWarning):
+    """Lenient parsing skipped malformed or truncated trace input."""
+
+
+def _open_text(path: Path, mode: str, *, strict: bool = True) -> io.TextIOBase:
+    """Open a (possibly gzipped) trace file with a pinned encoding.
+
+    The encoding is always UTF-8 so parsing never depends on the host
+    locale. In lenient mode undecodable garbage bytes are replaced with
+    U+FFFD — the affected lines then fail field parsing and are skipped
+    by the lenient readers instead of aborting the whole file.
+    """
+    errors = "strict" if strict else "replace"
     if path.suffix == ".gz":
-        return gzip.open(path, mode + "t", encoding="utf-8")  # type: ignore[return-value]
-    return open(path, mode, encoding="utf-8")
+        return gzip.open(  # type: ignore[return-value]
+            path, mode + "t", encoding="utf-8", errors=errors
+        )
+    return open(path, mode, encoding="utf-8", errors=errors)
+
+
+#: Exceptions that mark a physically damaged stream mid-iteration:
+#: truncated gzip members (EOFError), corrupt compressed data
+#: (zlib.error) and low-level read failures (OSError, which includes
+#: gzip.BadGzipFile).
+_STREAM_ERRORS = (EOFError, OSError, zlib.error)
+
+
+def read_numeric_lines(
+    path: str | Path,
+    *,
+    min_fields: int,
+    strict: bool = True,
+    comments: Sequence[str] = ("#", ";"),
+    format_name: str = "trace",
+) -> list[list[float]]:
+    """Parse whitespace-separated numeric records from a trace file.
+
+    Blank lines and lines starting with any of ``comments`` are
+    ignored. A record needs at least ``min_fields`` fields, all
+    numeric; extra fields are ignored (SWF/GWA permit vendor columns).
+    Strict mode raises :class:`TraceParseError` at the first malformed
+    line, undecodable byte, or truncated stream; lenient mode skips the
+    defect (for a truncated stream: keeps everything before it) and
+    finishes with one :class:`TraceParseWarning` summarizing how many
+    lines were dropped and where the first defect sits.
+    """
+    path = Path(path)
+    rows: list[list[float]] = []
+    skipped = 0
+    first_defect: str | None = None
+    lineno = 0
+
+    def defect(line: int, reason: str) -> None:
+        nonlocal skipped, first_defect
+        if strict:
+            raise TraceParseError(path, line, reason)
+        skipped += 1
+        if first_defect is None:
+            first_defect = f"{path}:{line}: {reason}"
+
+    with _open_text(path, "r", strict=strict) as fh:
+        try:
+            for raw in fh:
+                lineno += 1
+                line = raw.strip()
+                if not line or line.startswith(tuple(comments)):
+                    continue
+                parts = line.split()
+                if len(parts) < min_fields:
+                    defect(
+                        lineno,
+                        f"{format_name} line has {len(parts)} fields, "
+                        f"expected {min_fields}: {line[:80]!r}",
+                    )
+                    continue
+                try:
+                    rows.append([float(p) for p in parts[:min_fields]])
+                except ValueError:
+                    defect(
+                        lineno,
+                        f"{format_name} line has a non-numeric field: "
+                        f"{line[:80]!r}",
+                    )
+        except UnicodeDecodeError as exc:
+            # Only reachable in strict mode (lenient replaces bytes).
+            raise TraceParseError(
+                path, lineno + 1, f"undecodable byte in {format_name} file: {exc}"
+            ) from exc
+        except _STREAM_ERRORS as exc:
+            if strict:
+                raise TraceParseError(
+                    path,
+                    lineno + 1,
+                    f"truncated or corrupt {format_name} file: {exc}",
+                ) from exc
+            skipped += 1
+            if first_defect is None:
+                first_defect = (
+                    f"{path}:{lineno + 1}: truncated or corrupt "
+                    f"{format_name} file: {exc}"
+                )
+    if skipped:
+        warnings.warn(
+            f"{path}: skipped {skipped} malformed {format_name} line(s)/"
+            f"segment(s); first: {first_defect}",
+            TraceParseWarning,
+            stacklevel=2,
+        )
+    return rows
 
 
 def write_csv(table: Table, path: str | Path) -> None:
@@ -53,16 +187,84 @@ def _fmt(value: object) -> str:
 
 
 def read_csv(
-    path: str | Path, schema: Mapping[str, np.dtype] | None = None
+    path: str | Path,
+    schema: Mapping[str, np.dtype] | None = None,
+    *,
+    strict: bool = True,
 ) -> Table:
-    """Read a CSV written by :func:`write_csv`."""
+    """Read a CSV written by :func:`write_csv`.
+
+    Strict mode raises :class:`TraceParseError` on the first malformed
+    row, undecodable byte, or truncated gzip stream; lenient mode
+    (``strict=False``) skips defective rows and warns with a
+    :class:`TraceParseWarning`.
+    """
     path = Path(path)
-    with _open_text(path, "r") as fh:
-        header = fh.readline().strip()
-        if not header:
-            raise ValueError(f"{path} is empty")
-        names = header.split(",")
-        rows = [line.strip().split(",") for line in fh if line.strip()]
+    rows: list[list[float]] = []
+    names: list[str] = []
+    skipped = 0
+    first_defect: str | None = None
+    lineno = 1
+
+    def defect(line: int, reason: str) -> None:
+        nonlocal skipped, first_defect
+        if strict:
+            raise TraceParseError(path, line, reason)
+        skipped += 1
+        if first_defect is None:
+            first_defect = f"{path}:{line}: {reason}"
+
+    with _open_text(path, "r", strict=strict) as fh:
+        try:
+            header = fh.readline().strip()
+            if not header:
+                raise TraceParseError(path, 1, "CSV file is empty")
+            names = header.split(",")
+            for raw in fh:
+                lineno += 1
+                line = raw.strip()
+                if not line:
+                    continue
+                parts = line.split(",")
+                if len(parts) != len(names):
+                    defect(
+                        lineno,
+                        f"CSV row has {len(parts)} fields, expected "
+                        f"{len(names)}: {line[:80]!r}",
+                    )
+                    continue
+                try:
+                    rows.append([float(p) for p in parts])
+                except ValueError:
+                    defect(
+                        lineno,
+                        f"CSV row has a non-numeric field: {line[:80]!r}",
+                    )
+        except UnicodeDecodeError as exc:
+            raise TraceParseError(
+                path, lineno + 1, f"undecodable byte in CSV file: {exc}"
+            ) from exc
+        except _STREAM_ERRORS as exc:
+            if strict:
+                raise TraceParseError(
+                    path, lineno + 1, f"truncated or corrupt CSV file: {exc}"
+                ) from exc
+            skipped += 1
+            if first_defect is None:
+                first_defect = (
+                    f"{path}:{lineno + 1}: truncated or corrupt CSV "
+                    f"file: {exc}"
+                )
+    if skipped:
+        warnings.warn(
+            f"{path}: skipped {skipped} malformed CSV row(s)/segment(s); "
+            f"first: {first_defect}",
+            TraceParseWarning,
+            stacklevel=2,
+        )
+    if not names:
+        # Even lenient parsing cannot shape a table without a header.
+        raise TraceParseError(path, 1, "CSV header is unreadable")
     if rows:
         data = np.asarray(rows, dtype=np.float64)
     else:

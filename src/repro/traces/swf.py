@@ -9,12 +9,11 @@ analyses use (:data:`repro.traces.schema.SWF_JOB_SCHEMA`).
 
 from __future__ import annotations
 
-import gzip
-import io
 from pathlib import Path
 
 import numpy as np
 
+from .io import _open_text, read_numeric_lines
 from .schema import SWF_JOB_SCHEMA
 from .table import Table
 
@@ -57,14 +56,6 @@ def swf_table(**columns: np.ndarray) -> Table:
     return Table(full, schema=SWF_JOB_SCHEMA)
 
 
-def _open_text(path: Path, mode: str) -> io.TextIOBase:
-    # SWF is an ASCII format; pin the encoding so parsing never depends
-    # on the host locale (PWA archives are served as plain/gzipped text).
-    if path.suffix == ".gz":
-        return gzip.open(path, mode + "t", encoding="utf-8")  # type: ignore[return-value]
-    return open(path, mode, encoding="utf-8")
-
-
 def write_swf(table: Table, path: str | Path, header: str | None = None) -> None:
     """Write an SWF file (full 18-field lines; unknown fields are -1)."""
     path = Path(path)
@@ -96,22 +87,22 @@ def _fmt(value: float) -> str:
     return repr(float(value))
 
 
-def read_swf(path: str | Path) -> Table:
-    """Read an SWF file into the paper's job-record subset."""
+def read_swf(path: str | Path, *, strict: bool = True) -> Table:
+    """Read an SWF file into the paper's job-record subset.
+
+    Strict mode raises :class:`~repro.traces.io.TraceParseError` with
+    ``file:line`` context at the first malformed line, garbage byte or
+    truncated stream; ``strict=False`` skips such defects, counting and
+    reporting them via :class:`~repro.traces.io.TraceParseWarning`.
+    """
     path = Path(path)
-    rows: list[list[float]] = []
-    with _open_text(path, "r") as fh:
-        for line in fh:
-            line = line.strip()
-            if not line or line.startswith(";") or line.startswith("#"):
-                continue
-            parts = line.split()
-            if len(parts) < _SWF_NFIELDS:
-                raise ValueError(
-                    f"SWF line has {len(parts)} fields, expected "
-                    f"{_SWF_NFIELDS}: {line[:80]!r}"
-                )
-            rows.append([float(p) for p in parts[:_SWF_NFIELDS]])
+    rows = read_numeric_lines(
+        path,
+        min_fields=_SWF_NFIELDS,
+        strict=strict,
+        comments=(";", "#"),
+        format_name="SWF",
+    )
     data = np.asarray(rows) if rows else np.empty((0, _SWF_NFIELDS))
     return Table(
         {

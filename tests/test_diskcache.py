@@ -152,6 +152,88 @@ class TestCorruption:
         assert key not in cache
 
 
+class TestQuarantine:
+    def test_corrupt_entry_parked_for_inspection(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        key = "a" * 64
+        cache.put(key, _payload(2))
+        (tmp_path / key[:2] / key / "skeleton.pkl").write_bytes(b"garbage")
+        assert cache.get(key) is MISS
+        assert cache.stats.quarantined == 1
+        assert cache.stats.errors == 1
+        assert cache.quarantined_entries() == [key]
+        # The quarantined copy keeps the corrupt bytes for post-mortems.
+        parked = cache.quarantine_dir() / key / "skeleton.pkl"
+        assert parked.read_bytes() == b"garbage"
+        # The live cache self-heals: re-put and read back normally.
+        cache.put(key, _payload(2))
+        assert cache.get(key) is not MISS
+
+    def test_quarantine_is_pruned(self, tmp_path):
+        import os
+
+        cache = DiskCache(tmp_path)
+        keys = [format(i, "x").rjust(64, "0") for i in range(12)]
+        for i, key in enumerate(keys):
+            cache.put(key, {"x": 1})
+            (tmp_path / key[:2] / key / "skeleton.pkl").write_bytes(b"junk")
+            assert cache.get(key) is MISS
+            os.utime(cache.quarantine_dir() / key, (1000 + i, 1000 + i))
+        parked = cache.quarantined_entries()
+        assert len(parked) <= 8
+        assert keys[-1] in parked  # newest kept
+        assert keys[0] not in parked  # oldest pruned
+        assert cache.stats.quarantined == 12
+
+    def test_concurrently_evicted_entry_is_plain_miss(
+        self, tmp_path, monkeypatch
+    ):
+        # Another process may evict an entry between our existence check
+        # and the read; that must read as a miss, not as corruption.
+        cache = DiskCache(tmp_path)
+        key = "b" * 64
+        cache.put(key, {"x": 1})
+
+        def vanish(fh):
+            raise FileNotFoundError(getattr(fh, "name", "skeleton.pkl"))
+
+        monkeypatch.setattr("repro.core.diskcache.pickle.load", vanish)
+        assert cache.get(key) is MISS
+        assert cache.stats.misses == 1
+        assert cache.stats.errors == 0
+        assert cache.stats.quarantined == 0
+
+
+def _race_worker(root, worker: int) -> None:
+    """Hammer one shared cache with puts and gets under tight eviction."""
+    cache = DiskCache(root, max_entries=2, max_bytes=None)
+    keys = [c * 64 for c in "abcd"]
+    for round_ in range(30):
+        key = keys[(worker + round_) % len(keys)]
+        cache.put(key, {"x": np.arange(200)})
+        for probe in keys:
+            value = cache.get(probe)
+            assert value is MISS or value["x"][0] == 0
+
+
+class TestEvictionRace:
+    def test_two_processes_put_get_evict_without_errors(self, tmp_path):
+        # Regression test for FileNotFoundError escaping get() when a
+        # concurrent process's LRU eviction removes the entry mid-read.
+        import multiprocessing
+
+        ctx = multiprocessing.get_context("fork")
+        procs = [
+            ctx.Process(target=_race_worker, args=(tmp_path, i))
+            for i in range(2)
+        ]
+        for proc in procs:
+            proc.start()
+        for proc in procs:
+            proc.join(timeout=120)
+        assert [proc.exitcode for proc in procs] == [0, 0]
+
+
 class TestEviction:
     def test_entry_count_budget(self, tmp_path):
         import os

@@ -392,11 +392,96 @@ class TestRowLoopBan:
         assert run.all_diagnostics == []
 
 
+class TestSilentExcept:
+    def test_flags_silent_broad_handlers_in_scope(self, project):
+        project.write(
+            "src/repro/experiments/m.py",
+            """\
+            def load(path):
+                try:
+                    return path.read_text()
+                except Exception:
+                    pass
+
+            def bare(path):
+                try:
+                    return path.stat()
+                except:  # noqa: E722
+                    ...
+            """,
+        )
+        project.write(
+            "src/repro/core/m.py",
+            """\
+            def touch(path):
+                try:
+                    path.touch()
+                except (OSError, BaseException):
+                    pass
+            """,
+        )
+        run = project.lint()
+        assert rules_at(run, "src/repro/experiments/m.py", 4) == {"REP601"}
+        assert rules_at(run, "src/repro/experiments/m.py", 10) == {"REP601"}
+        assert rules_at(run, "src/repro/core/m.py", 4) == {"REP601"}
+
+    def test_narrow_or_observable_handlers_are_clean(self, project):
+        project.write(
+            "src/repro/core/m.py",
+            """\
+            def touch(path, stats):
+                try:
+                    path.touch()
+                except OSError:
+                    pass
+
+            def classify(fn, stats):
+                try:
+                    fn()
+                except Exception:
+                    stats.errors += 1
+            """,
+        )
+        assert project.lint().all_diagnostics == []
+
+    def test_out_of_scope_and_suppressed_are_exempt(self, project):
+        project.write(
+            "src/repro/traces/m.py",
+            """\
+            def best_effort(fn):
+                try:
+                    fn()
+                except Exception:
+                    pass
+            """,
+        )
+        project.write(
+            "src/repro/experiments/s.py",
+            """\
+            def best_effort(fn):
+                try:
+                    fn()
+                except Exception:  # reprolint: disable=REP601
+                    pass
+            """,
+        )
+        run = project.lint("src/repro/traces/m.py", "src/repro/experiments/s.py")
+        assert run.all_diagnostics == []
+
+
 class TestFrameworkPlumbing:
     def test_every_rule_registered_once(self):
         rules = [c.rule.id for c in all_checkers()]
         assert rules == sorted(rules)
-        assert {"REP101", "REP201", "REP301", "REP401", "REP501", "REP502"} <= set(rules)
+        assert {
+            "REP101",
+            "REP201",
+            "REP301",
+            "REP401",
+            "REP501",
+            "REP502",
+            "REP601",
+        } <= set(rules)
 
     def test_config_round_trip(self, project):
         cfg = load_config(project.root)
@@ -453,7 +538,15 @@ class TestFrameworkPlumbing:
     def test_cli_list_rules(self, capsys):
         assert lint_main(["--list-rules"]) == 0
         out = capsys.readouterr().out
-        for rule_id in ("REP101", "REP201", "REP301", "REP401", "REP501", "REP502"):
+        for rule_id in (
+            "REP101",
+            "REP201",
+            "REP301",
+            "REP401",
+            "REP501",
+            "REP502",
+            "REP601",
+        ):
             assert rule_id in out
 
 

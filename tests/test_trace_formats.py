@@ -1,11 +1,20 @@
 """Unit tests for GWA/SWF formats, CSV I/O and trace persistence."""
 
+import gzip
+
 import numpy as np
 import pytest
 
 from repro.synth.google_model import GoogleConfig, generate_google_trace
 from repro.traces.gwa import MISSING, gwa_table, read_gwa, write_gwa
-from repro.traces.io import load_trace, read_csv, save_trace, write_csv
+from repro.traces.io import (
+    TraceParseError,
+    TraceParseWarning,
+    load_trace,
+    read_csv,
+    save_trace,
+    write_csv,
+)
 from repro.traces.schema import GWA_JOB_SCHEMA, SWF_JOB_SCHEMA
 from repro.traces.swf import read_swf, swf_table, write_swf
 from repro.traces.table import Table
@@ -137,6 +146,95 @@ class TestCsvRoundTrip:
         path.write_text("")
         with pytest.raises(ValueError, match="empty"):
             read_csv(path)
+
+
+class TestParseRobustness:
+    """Strict parsing pinpoints defects; lenient parsing survives them."""
+
+    def _swf_with_defects(self, tmp_path):
+        t = swf_table(
+            submit_time=np.array([0.0, 10.0, 20.0]),
+            run_time=np.array([5.0, 6.0, 7.0]),
+        )
+        path = tmp_path / "damaged.swf"
+        write_swf(t, path)
+        lines = path.read_text().splitlines()
+        lines.insert(2, "1 2 3")  # too few fields (file line 3)
+        lines.append("x " * 18)  # non-numeric fields
+        path.write_text("\n".join(lines) + "\n")
+        return path
+
+    def test_strict_swf_raises_with_file_and_line(self, tmp_path):
+        path = self._swf_with_defects(tmp_path)
+        with pytest.raises(TraceParseError, match="fields") as excinfo:
+            read_swf(path)
+        assert excinfo.value.path == str(path)
+        assert excinfo.value.line == 3
+        assert f"{path}:3" in str(excinfo.value)
+
+    def test_lenient_swf_skips_and_warns(self, tmp_path):
+        path = self._swf_with_defects(tmp_path)
+        with pytest.warns(TraceParseWarning, match="skipped 2"):
+            back = read_swf(path, strict=False)
+        np.testing.assert_allclose(back["run_time"], [5.0, 6.0, 7.0])
+
+    def test_gwa_strict_and_lenient(self, tmp_path):
+        t = gwa_table(submit_time=np.array([1.0, 2.0]))
+        path = tmp_path / "damaged.gwa"
+        write_gwa(t, path)
+        lines = path.read_text().splitlines()
+        lines.insert(2, "not a record")
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(TraceParseError, match="GWA"):
+            read_gwa(path)
+        with pytest.warns(TraceParseWarning):
+            back = read_gwa(path, strict=False)
+        assert back.num_rows == 2
+
+    def test_garbage_bytes(self, tmp_path):
+        path = tmp_path / "garbage.swf"
+        line = (" ".join(["1"] * 18) + "\n").encode()
+        path.write_bytes(b"; header\n" + b"\xff\xfe garbage\n" + line)
+        with pytest.raises(TraceParseError, match="undecodable byte"):
+            read_swf(path)
+        with pytest.warns(TraceParseWarning):
+            back = read_swf(path, strict=False)
+        assert back.num_rows == 1  # replacement chars fail field parsing
+
+    def test_truncated_gzip(self, tmp_path):
+        path = tmp_path / "truncated.swf.gz"
+        with gzip.open(path, "wt", encoding="utf-8") as fh:
+            for _ in range(500):
+                fh.write(" ".join(["1"] * 18) + "\n")
+        raw = path.read_bytes()
+        path.write_bytes(raw[: len(raw) // 2])
+        with pytest.raises(TraceParseError, match="truncated or corrupt"):
+            read_swf(path)
+        with pytest.warns(TraceParseWarning, match="truncated or corrupt"):
+            back = read_swf(path, strict=False)
+        # Lenient mode keeps whatever decompressed before the cut.
+        assert back.num_rows < 500
+
+    def test_csv_strict_and_lenient(self, tmp_path):
+        t = Table({"a": np.array([1.0, 2.0]), "b": np.array([3.0, 4.0])})
+        path = tmp_path / "damaged.csv"
+        write_csv(t, path)
+        lines = path.read_text().splitlines()
+        lines.insert(1, "1,2,3")  # wrong arity (file line 2)
+        lines.append("x,y")  # non-numeric
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(TraceParseError) as excinfo:
+            read_csv(path)
+        assert excinfo.value.line == 2
+        with pytest.warns(TraceParseWarning, match="skipped 2"):
+            back = read_csv(path, strict=False)
+        np.testing.assert_allclose(back["a"], [1.0, 2.0])
+
+    def test_csv_without_header_fails_even_lenient(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(TraceParseError):
+            read_csv(path, strict=False)
 
 
 class TestTracePersistence:
