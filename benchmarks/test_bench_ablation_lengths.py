@@ -10,7 +10,7 @@ import numpy as np
 import pytest
 
 from repro.core.masscount import mass_count
-from repro.synth.distributions import LogNormal
+from repro.core.distributions import LogNormal
 from repro.synth.presets import GOOGLE_TASK_LENGTH
 
 N = 200_000

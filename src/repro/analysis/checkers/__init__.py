@@ -9,8 +9,11 @@ from . import (  # noqa: F401
     layering,
     registry_complete,
     rng,
+    rngflow,
     rowloops,
     schema_columns,
+    schema_flow,
     silentexcept,
+    suppressions,
     wallclock,
 )

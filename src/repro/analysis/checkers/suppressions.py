@@ -1,0 +1,103 @@
+"""REP701 — unused suppression.
+
+``# reprolint: disable=...`` comments are precision instruments: each
+one asserts "this exact line would otherwise fire this exact rule". As
+code moves, suppressions rot — the finding they silenced is gone, but
+the comment keeps suppressing, ready to hide the next real finding on
+that line. A suppression that suppresses nothing is therefore itself a
+diagnostic, as are comments that never could suppress anything:
+malformed directives (``disable`` without ``=``, an empty code list)
+and codes naming no registered rule.
+
+The engine drives this rule after every other checker has run on a
+file (it needs to know which suppressions were actually *used*,
+including by the whole-program rules); suppressing REP701 itself with
+``# reprolint: disable=REP701`` on the same line works like any other
+suppression, matching the pylint ``useless-suppression`` convention.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+from ..diagnostics import Diagnostic
+from ..registry import Rule, register
+
+
+@register(
+    Rule(
+        id="REP701",
+        name="unused-suppression",
+        summary=(
+            "reprolint suppression comments must suppress something: "
+            "no stale, malformed or unknown-rule disable= directives"
+        ),
+    )
+)
+class UnusedSuppressionChecker:
+    #: The engine runs this rule itself once per-file usage is known.
+    runs_after_all = True
+
+    def check(self, ctx) -> Iterator[Diagnostic]:  # pragma: no cover
+        return iter(())
+
+
+def suppression_diagnostics(
+    relpath: str,
+    specs: Iterable,
+    used: set[tuple[int, str]],
+    known_rules: frozenset[str],
+) -> list[Diagnostic]:
+    """REP701 findings for one file.
+
+    ``specs`` are the parsed suppression directives (see
+    ``engine.SuppressionSpec``); ``used`` holds ``(line, code)`` pairs
+    that suppressed at least one diagnostic, where ``code`` is the
+    directive entry that matched (a rule id or ``"all"``).
+    """
+    rule_id = UnusedSuppressionChecker.rule.id
+    out: list[Diagnostic] = []
+    for spec in specs:
+        if spec.malformed is not None:
+            out.append(
+                Diagnostic(
+                    path=relpath,
+                    line=spec.line,
+                    col=0,
+                    rule_id=rule_id,
+                    message=f"malformed suppression comment: {spec.malformed}",
+                    hint="write '# reprolint: disable=REPnnn[,REPnnn...]'",
+                )
+            )
+            continue
+        for code in spec.codes:
+            if code != "all" and code not in known_rules:
+                out.append(
+                    Diagnostic(
+                        path=relpath,
+                        line=spec.line,
+                        col=0,
+                        rule_id=rule_id,
+                        message=(
+                            f"suppression names unknown rule {code!r}"
+                        ),
+                        hint="see repro-lint --list-rules for valid ids",
+                    )
+                )
+            elif (spec.line, code) not in used:
+                what = (
+                    "disable=all suppresses nothing on this line"
+                    if code == "all"
+                    else f"suppression of {code} suppresses nothing"
+                )
+                out.append(
+                    Diagnostic(
+                        path=relpath,
+                        line=spec.line,
+                        col=0,
+                        rule_id=rule_id,
+                        message=what,
+                        hint="remove the stale suppression comment",
+                    )
+                )
+    return out

@@ -2,9 +2,14 @@
 
 Usage::
 
-    repro-lint src                 # lint the tree, exit 1 on findings
-    repro-lint --format json src   # machine-readable output
-    repro-lint --list-rules        # rule catalog
+    repro-lint src                   # lint the tree, exit 1 on findings
+    repro-lint --format json src     # machine-readable output
+    repro-lint --format sarif src    # SARIF 2.1.0 for code-scanning UIs
+    repro-lint --jobs 0 src          # parallel parse/analyze (0 = auto)
+    repro-lint --cache-dir .lint-cache src   # incremental: only changed
+                                             # files (and their importers)
+                                             # are re-analyzed
+    repro-lint --list-rules          # rule catalog
 
 Suppress a finding in place with ``# reprolint: disable=REP101`` (or
 ``disable=all``) on the offending line; configure rule sets and excludes
@@ -19,7 +24,7 @@ from collections.abc import Sequence
 
 from .engine import lint_paths
 from .registry import iter_rules
-from .reporters import render_json, render_text
+from .reporters import render_json, render_sarif, render_text
 
 __all__ = ["main"]
 
@@ -48,9 +53,25 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
         help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for parsing/analysis (0 = one per CPU)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help=(
+            "enable the incremental cache in DIR; unchanged files (keyed "
+            "by content hash + import closure) are not re-analyzed"
+        ),
     )
     parser.add_argument(
         "--quiet",
@@ -72,12 +93,19 @@ def main(argv: Sequence[str] | None = None) -> int:
             print(f"{rule.id}  {rule.name}: {rule.summary}")
         return 0
     try:
-        run = lint_paths(args.paths, root=args.root)
+        run = lint_paths(
+            args.paths,
+            root=args.root,
+            jobs=args.jobs,
+            cache_dir=args.cache_dir,
+        )
     except (OSError, ValueError) as exc:
         print(f"repro-lint: error: {exc}", file=sys.stderr)
         return 2
     if args.format == "json":
         print(render_json(run))
+    elif args.format == "sarif":
+        print(render_sarif(run))
     else:
         print(render_text(run, verbose=not args.quiet))
     return run.exit_code

@@ -68,6 +68,18 @@ class LintConfig:
     extra_table_columns: tuple[str, ...] = ()
     #: Extra metrics keys accepted by the schema-contract rule.
     extra_metrics_keys: tuple[str, ...] = ()
+    #: Layers whose generators must trace to a caller seed or a
+    #: SeedSequence.spawn chain (REP102). Layers outside the scope —
+    #: the experiments composition root, apps, analysis — may choose
+    #: seeds, but still must not inject OS entropy.
+    rng_scope: tuple[str, ...] = (
+        "core",
+        "traces",
+        "synth",
+        "hostload",
+        "prediction",
+        "sim",
+    )
 
     def rule_enabled(self, rule_id: str) -> bool:
         return not self.enable or rule_id in self.enable
@@ -102,6 +114,7 @@ def _config_from_mapping(section: dict[str, object]) -> LintConfig:
         "non_experiment_modules",
         "extra_table_columns",
         "extra_metrics_keys",
+        "rng_scope",
     ):
         if key in data:
             setattr(cfg, key, _coerce_str_tuple(data[key]))

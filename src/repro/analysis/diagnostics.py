@@ -40,6 +40,19 @@ class Diagnostic:
             "hint": self.hint,
         }
 
+    @classmethod
+    def from_dict(cls, data: dict[str, object]) -> "Diagnostic":
+        """Inverse of :meth:`to_dict` (used by the incremental cache)."""
+        return cls(
+            path=str(data["path"]),
+            line=int(data["line"]),
+            col=int(data["col"]),
+            rule_id=str(data["rule"]),
+            message=str(data["message"]),
+            severity=Severity[str(data["severity"]).upper()],
+            hint=str(data.get("hint", "")),
+        )
+
 
 def sort_key(diag: Diagnostic) -> tuple[str, int, int, str]:
     return (diag.path, diag.line, diag.col, diag.rule_id)
@@ -47,13 +60,23 @@ def sort_key(diag: Diagnostic) -> tuple[str, int, int, str]:
 
 @dataclass
 class DiagnosticSink:
-    """Collector passed to checkers; applies per-line suppressions."""
+    """Collector passed to checkers; applies per-line suppressions.
+
+    ``used`` records which ``(line, directive-code)`` pairs actually
+    suppressed a finding — the raw material of REP701
+    (unused-suppression).
+    """
 
     suppressed: dict[int, set[str]] = field(default_factory=dict)
     items: list[Diagnostic] = field(default_factory=list)
+    used: set[tuple[int, str]] = field(default_factory=set)
 
     def emit(self, diag: Diagnostic) -> None:
         rules = self.suppressed.get(diag.line, ())
-        if "all" in rules or diag.rule_id in rules:
+        if diag.rule_id in rules:
+            self.used.add((diag.line, diag.rule_id))
+            return
+        if "all" in rules:
+            self.used.add((diag.line, "all"))
             return
         self.items.append(diag)

@@ -1,23 +1,53 @@
-"""reprolint engine: file discovery, AST parsing, suppression, dispatch."""
+"""reprolint engine: discovery, parsing, whole-program dispatch.
+
+The run proceeds in phases:
+
+1. **collect + hash** — gather the target files, read each once and
+   record its content hash (the currency of the incremental cache).
+2. **summarize** — produce a picklable :class:`ModuleSummary` per file
+   (cached by content hash; parallel with ``jobs > 1``), then assemble
+   the :class:`~repro.analysis.graph.ProjectGraph` the flow-sensitive
+   rules consult. A warm cache rebuilds the graph without parsing.
+3. **analyze** — for each file whose diagnostics key (content hash +
+   transitive-import-closure hashes + cross-module flow facts; see
+   :mod:`repro.analysis.cache`) misses, parse and run the checkers,
+   route findings through the suppression sink, then derive REP701
+   (unused-suppression) from the sink's usage accounting. Cache hits
+   skip the file entirely.
+
+Suppression comments are parsed with the tokenizer so string literals
+that merely contain the marker never suppress anything; a comment that
+*starts* the ``reprolint:`` marker but does not form a well-shaped
+``disable=<codes>`` directive is recorded as malformed and surfaced by
+REP701 instead of being silently ignored.
+"""
 
 from __future__ import annotations
 
 import ast
+import hashlib
 import io
+import os
 import re
 import tokenize
 from collections.abc import Iterable, Sequence
 from dataclasses import dataclass, field
 from pathlib import Path, PurePosixPath
 
+from ..core.diskcache import MISS, fingerprint
+from .cache import LintCache
 from .config import LintConfig
 from .diagnostics import Diagnostic, DiagnosticSink, Severity, sort_key
+from .graph import (
+    ModuleSummary,
+    ProjectGraph,
+    build_project_graph,
+    summarize_module,
+)
 from .project import ProjectContext, build_project_context, find_project_root
 from .registry import Checker, all_checkers
 
-__all__ = ["FileContext", "lint_paths", "LintRun"]
-
-_SUPPRESS_RE = re.compile(r"#\s*reprolint:\s*disable=([A-Za-z0-9_,\- ]+)")
+__all__ = ["FileContext", "lint_paths", "LintRun", "SuppressionSpec"]
 
 #: Path fragments that mark a file as test/benchmark code; RNG and
 #: wall-clock rules do not apply there.
@@ -36,6 +66,9 @@ class FileContext:
     module: str | None = None  # dotted module name, when resolvable
     is_package: bool = False  # true for package __init__ files
     is_test: bool = False
+    #: Whole-program graph; present whenever the engine built one
+    #: (checkers with ``requires_graph`` read it).
+    graph: ProjectGraph | None = None
 
     @property
     def config(self) -> LintConfig:
@@ -49,6 +82,10 @@ class LintRun:
     diagnostics: list[Diagnostic] = field(default_factory=list)
     files_checked: int = 0
     parse_errors: list[Diagnostic] = field(default_factory=list)
+    #: Files whose checkers actually ran this invocation.
+    files_analyzed: int = 0
+    #: Files served wholesale from the incremental cache.
+    files_cached: int = 0
 
     @property
     def all_diagnostics(self) -> list[Diagnostic]:
@@ -61,33 +98,90 @@ class LintRun:
         ) else 0
 
 
-def _suppressions(source: str) -> dict[int, set[str]]:
-    """Map line number -> rule ids disabled on that line.
+# -- suppression comments -----------------------------------------------------
+
+_MARKER_RE = re.compile(r"#\s*reprolint\s*:\s*(?P<rest>.*)$")
+_DISABLE_RE = re.compile(r"^disable\s*=\s*(?P<codes>.*)$")
+_CODE_RE = re.compile(r"^(all|[A-Za-z][A-Za-z0-9_\-]*)$")
+
+
+@dataclass(frozen=True)
+class SuppressionSpec:
+    """One parsed ``# reprolint: ...`` comment."""
+
+    line: int
+    codes: tuple[str, ...] = ()
+    #: Human-readable defect when the directive is not well-shaped; a
+    #: malformed spec suppresses nothing and REP701 reports it.
+    malformed: str | None = None
+
+
+def _parse_directive(line: int, comment: str) -> SuppressionSpec | None:
+    match = _MARKER_RE.search(comment)
+    if match is None:
+        return None
+    rest = match.group("rest").strip()
+    directive = _DISABLE_RE.match(rest)
+    if directive is None:
+        word = rest.split("=", 1)[0].split()[0] if rest else ""
+        if word == "disable":
+            return SuppressionSpec(line, (), "missing '=' after 'disable'")
+        if not rest:
+            return SuppressionSpec(line, (), "missing directive")
+        return SuppressionSpec(
+            line, (), f"unknown directive {rest!r} (only 'disable=' is supported)"
+        )
+    raw = directive.group("codes").strip()
+    if not raw:
+        return SuppressionSpec(line, (), "empty rule list after 'disable='")
+    codes: list[str] = []
+    for part in (p.strip() for p in raw.split(",")):
+        if not part:
+            return SuppressionSpec(line, (), "empty rule id in code list")
+        if not _CODE_RE.match(part):
+            return SuppressionSpec(
+                line, (), f"invalid rule id {part!r} (comma-separate rule ids)"
+            )
+        codes.append(part)
+    return SuppressionSpec(line, tuple(codes), None)
+
+
+def _parse_suppressions(source: str) -> list[SuppressionSpec]:
+    """Parse every suppression comment in the file.
 
     Uses the tokenizer so string literals that merely *contain* the
-    marker do not suppress anything; falls back to a per-line regex scan
-    if the file does not tokenize.
+    marker do not suppress anything; falls back to a per-line scan if
+    the file does not tokenize.
     """
-    table: dict[int, set[str]] = {}
-
-    def record(line: int, spec: str) -> None:
-        rules = {part.strip() for part in spec.split(",") if part.strip()}
-        if rules:
-            table.setdefault(line, set()).update(rules)
-
+    specs: list[SuppressionSpec] = []
     try:
         tokens = tokenize.generate_tokens(io.StringIO(source).readline)
         for tok in tokens:
             if tok.type == tokenize.COMMENT:
-                match = _SUPPRESS_RE.search(tok.string)
-                if match:
-                    record(tok.start[0], match.group(1))
+                spec = _parse_directive(tok.start[0], tok.string)
+                if spec is not None:
+                    specs.append(spec)
     except (tokenize.TokenError, IndentationError, SyntaxError):
+        specs = []
         for lineno, line in enumerate(source.splitlines(), start=1):
-            match = _SUPPRESS_RE.search(line)
-            if match:
-                record(lineno, match.group(1))
+            if "#" not in line:
+                continue
+            spec = _parse_directive(lineno, line[line.index("#") :])
+            if spec is not None:
+                specs.append(spec)
+    return specs
+
+
+def _suppression_table(specs: Iterable[SuppressionSpec]) -> dict[int, set[str]]:
+    """line -> rule ids disabled there (malformed specs disable nothing)."""
+    table: dict[int, set[str]] = {}
+    for spec in specs:
+        if spec.malformed is None and spec.codes:
+            table.setdefault(spec.line, set()).update(spec.codes)
     return table
+
+
+# -- file discovery -----------------------------------------------------------
 
 
 def _module_name(relpath: str, config: LintConfig) -> str | None:
@@ -141,17 +235,236 @@ def _relpath(path: Path, root: Path) -> str:
         return path.as_posix()
 
 
+@dataclass
+class _FileInfo:
+    """One collected file, read exactly once."""
+
+    path: Path
+    relpath: str
+    source: str
+    src_hash: str
+    module: str | None
+    is_package: bool
+    is_test: bool
+
+
+# -- fingerprints -------------------------------------------------------------
+
+
+def _facts_fingerprint(
+    project: ProjectContext, config: LintConfig, root: Path
+) -> str:
+    """Digest of every non-file input the checkers consult.
+
+    Includes the on-disk listings REP401 reads directly (experiment
+    modules, reference outputs), so deleting a results file re-keys the
+    registry's diagnostics even though no linted file changed.
+    """
+    results_dir = root / config.results_dir
+    experiments_dir = root / config.experiments_package
+    return fingerprint(
+        {
+            "table_columns": tuple(sorted(project.table_columns)),
+            "metrics_keys": tuple(sorted(project.metrics_keys)),
+            "metrics_key_patterns": tuple(project.metrics_key_patterns),
+            "experiment_ids": tuple(sorted(project.experiment_ids)),
+            "registered_modules": tuple(sorted(project.registered_modules)),
+            "results_files": tuple(
+                sorted(p.name for p in results_dir.glob("*.txt"))
+            )
+            if results_dir.is_dir()
+            else (),
+            "experiment_modules": tuple(
+                sorted(p.name for p in experiments_dir.glob("*.py"))
+            )
+            if experiments_dir.is_dir()
+            else (),
+        }
+    )
+
+
+def _diagnostics_key(
+    info: _FileInfo,
+    graph: ProjectGraph,
+    module_hashes: dict[str, str],
+    config_fp: str,
+    facts_fp: str,
+) -> str:
+    closure: tuple[str, ...] = ()
+    flow = "no-module"
+    if info.module is not None:
+        closure = tuple(
+            module_hashes[mod]
+            for mod in graph.import_closure(info.module)
+            if mod in module_hashes
+        )
+        flow = fingerprint(graph.schemas_for_module(info.module))
+    return LintCache.diagnostics_key(
+        config_fp, facts_fp, info.src_hash, closure, flow
+    )
+
+
+# -- per-file analysis --------------------------------------------------------
+
+
+def _parse_error_payload(relpath: str, summary: ModuleSummary) -> dict:
+    diag = Diagnostic(
+        path=relpath,
+        line=summary.parse_error_line,
+        col=0,
+        rule_id="REP000",
+        message=f"could not parse file: {summary.parse_error}",
+        hint="fix the syntax error or exclude the file",
+    )
+    return {"diags": [], "parse": [diag.to_dict()]}
+
+
+def _analyze_file(
+    info: _FileInfo,
+    project: ProjectContext,
+    graph: ProjectGraph,
+    active: Sequence[Checker],
+    known_rules: frozenset[str],
+) -> dict:
+    """Run every checker on one (parseable) file; returns the payload
+    the incremental cache stores: plain dicts, nothing else."""
+    config = project.config
+    tree = ast.parse(info.source, filename=str(info.path))
+    specs = _parse_suppressions(info.source)
+    sink = DiagnosticSink(suppressed=_suppression_table(specs))
+    ctx = FileContext(
+        path=info.path,
+        relpath=info.relpath,
+        source=info.source,
+        tree=tree,
+        project=project,
+        module=info.module,
+        is_package=info.is_package,
+        is_test=info.is_test,
+        graph=graph,
+    )
+    after_all: Checker | None = None
+    for checker in active:
+        if getattr(checker, "runs_after_all", False):
+            after_all = checker
+            continue
+        if config.rule_excluded(checker.rule.id, info.relpath):
+            continue
+        for diag in checker.check(ctx):
+            sink.emit(diag)
+    if (
+        after_all is not None
+        and not info.is_test
+        and not config.rule_excluded(after_all.rule.id, info.relpath)
+    ):
+        # Imported here: the checkers package pulls in this module.
+        from .checkers.suppressions import suppression_diagnostics
+
+        # REP701 candidates pass through the sink themselves, so a
+        # disable=REP701 directive works like any suppression.
+        for diag in suppression_diagnostics(
+            info.relpath, specs, sink.used, known_rules
+        ):
+            sink.emit(diag)
+    return {"diags": [d.to_dict() for d in sink.items], "parse": []}
+
+
+# -- worker-pool plumbing -----------------------------------------------------
+
+_POOL_STATE: dict[str, object] = {}
+
+
+def _pool_init(
+    project: ProjectContext,
+    graph: ProjectGraph,
+    checker_ids: tuple[str, ...],
+    known_rules: frozenset[str],
+) -> None:
+    by_id = {checker.rule.id: checker for checker in all_checkers()}
+    _POOL_STATE["project"] = project
+    _POOL_STATE["graph"] = graph
+    _POOL_STATE["checkers"] = tuple(
+        by_id[rule_id] for rule_id in checker_ids if rule_id in by_id
+    )
+    _POOL_STATE["known_rules"] = known_rules
+
+
+def _pool_analyze(info: _FileInfo) -> tuple[str, dict]:
+    payload = _analyze_file(
+        info,
+        _POOL_STATE["project"],  # type: ignore[arg-type]
+        _POOL_STATE["graph"],  # type: ignore[arg-type]
+        _POOL_STATE["checkers"],  # type: ignore[arg-type]
+        _POOL_STATE["known_rules"],  # type: ignore[arg-type]
+    )
+    return info.relpath, payload
+
+
+def _summarize_task(task: tuple[str, str | None, str, str]) -> ModuleSummary:
+    source, module, relpath, package = task
+    return summarize_module(source, module, relpath, package)
+
+
+def _resolve_jobs(jobs: int) -> int:
+    if jobs > 0:
+        return jobs
+    return max(1, os.cpu_count() or 1)
+
+
+# -- the run ------------------------------------------------------------------
+
+
+def _load_summaries(
+    infos: Sequence[_FileInfo],
+    config: LintConfig,
+    cache: LintCache | None,
+    config_fp: str,
+    jobs: int,
+) -> dict[str, ModuleSummary]:
+    summaries: dict[str, ModuleSummary] = {}
+    todo: list[_FileInfo] = []
+    keys: dict[str, str] = {}
+    for info in infos:
+        if cache is not None:
+            key = LintCache.summary_key(config_fp, info.src_hash)
+            keys[info.relpath] = key
+            hit = cache.get(key)
+            if isinstance(hit, ModuleSummary):
+                summaries[info.relpath] = hit
+                continue
+        todo.append(info)
+    tasks = [(i.source, i.module, i.relpath, config.package) for i in todo]
+    if jobs > 1 and len(tasks) > 1:
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            results = list(pool.map(_summarize_task, tasks, chunksize=8))
+    else:
+        results = [_summarize_task(task) for task in tasks]
+    for info, summary in zip(todo, results):
+        summaries[info.relpath] = summary
+        if cache is not None:
+            cache.put(keys[info.relpath], summary)
+    return summaries
+
+
 def lint_paths(
     paths: Sequence[str | Path],
     root: str | Path | None = None,
     checkers: Sequence[Checker] | None = None,
     project: ProjectContext | None = None,
+    *,
+    jobs: int = 1,
+    cache_dir: str | Path | None = None,
 ) -> LintRun:
     """Lint files/directories and return the collected diagnostics.
 
     ``root`` defaults to the nearest ancestor of the first path that
     contains a ``pyproject.toml`` (whose ``[tool.reprolint]`` section,
-    if any, configures the run).
+    if any, configures the run). ``jobs > 1`` parses and analyzes in a
+    process pool (``jobs=0`` means one per CPU); ``cache_dir`` enables
+    the incremental cache, after which unchanged files are served
+    without being re-analyzed.
     """
     resolved_paths = [Path(p) for p in paths]
     if not resolved_paths:
@@ -164,23 +477,39 @@ def lint_paths(
     if project is None:
         project = build_project_context(root_path)
     config = project.config
+    custom_checkers = checkers is not None
     active = [
         checker
-        for checker in (checkers if checkers is not None else all_checkers())
+        for checker in (checkers if custom_checkers else all_checkers())
         if config.rule_enabled(checker.rule.id)
     ]
+    # Ad-hoc checker instances may not survive pickling; stay serial.
+    jobs = 1 if custom_checkers else _resolve_jobs(jobs)
+
+    from .registry import iter_rules
+
+    known_rules = frozenset(rule.id for rule in iter_rules()) | {"REP000"}
+
+    cache = LintCache(cache_dir) if cache_dir is not None else None
+    config_fp = fingerprint(config) if cache is not None else ""
+    facts_fp = (
+        _facts_fingerprint(project, config, root_path)
+        if cache is not None
+        else ""
+    )
 
     run = LintRun()
+    infos: list[_FileInfo] = []
     for file_path in _collect_files(resolved_paths, config, root_path):
         relpath = _relpath(file_path, root_path)
         try:
-            source = file_path.read_text(encoding="utf-8")
-            tree = ast.parse(source, filename=str(file_path))
-        except (OSError, SyntaxError, UnicodeDecodeError) as exc:
+            raw = file_path.read_bytes()
+            source = raw.decode("utf-8")
+        except (OSError, UnicodeDecodeError) as exc:
             run.parse_errors.append(
                 Diagnostic(
                     path=relpath,
-                    line=getattr(exc, "lineno", None) or 1,
+                    line=1,
                     col=0,
                     rule_id="REP000",
                     message=f"could not parse file: {exc}",
@@ -188,23 +517,85 @@ def lint_paths(
                 )
             )
             continue
-        ctx = FileContext(
-            path=file_path,
-            relpath=relpath,
-            source=source,
-            tree=tree,
-            project=project,
-            module=_module_name(relpath, config),
-            is_package=PurePosixPath(relpath).name == "__init__.py",
-            is_test=_is_test_path(relpath),
+        infos.append(
+            _FileInfo(
+                path=file_path,
+                relpath=relpath,
+                source=source,
+                src_hash=hashlib.sha256(raw).hexdigest(),
+                module=_module_name(relpath, config),
+                is_package=PurePosixPath(relpath).name == "__init__.py",
+                is_test=_is_test_path(relpath),
+            )
         )
-        sink = DiagnosticSink(suppressed=_suppressions(source))
-        for checker in active:
-            if config.rule_excluded(checker.rule.id, relpath):
+
+    summaries = _load_summaries(infos, config, cache, config_fp, jobs)
+    graph = build_project_graph(
+        {info.relpath: summaries[info.relpath] for info in infos},
+        config.package,
+    )
+    module_hashes = {
+        info.module: info.src_hash for info in infos if info.module
+    }
+
+    payloads: dict[str, dict] = {}
+    diag_keys: dict[str, str] = {}
+    pending: list[_FileInfo] = []
+    for info in infos:
+        if cache is not None:
+            key = _diagnostics_key(
+                info, graph, module_hashes, config_fp, facts_fp
+            )
+            diag_keys[info.relpath] = key
+            hit = cache.get(key)
+            if isinstance(hit, dict) and "diags" in hit:
+                payloads[info.relpath] = hit
+                run.files_cached += 1
                 continue
-            for diag in checker.check(ctx):
-                sink.emit(diag)
-        run.diagnostics.extend(sink.items)
-        run.files_checked += 1
+        pending.append(info)
+
+    pool_infos: list[_FileInfo] = []
+    for info in pending:
+        summary = summaries[info.relpath]
+        if summary.parse_error is not None:
+            payloads[info.relpath] = _parse_error_payload(info.relpath, summary)
+            run.files_analyzed += 1
+        else:
+            pool_infos.append(info)
+    if jobs > 1 and len(pool_infos) > 1:
+        from concurrent.futures import ProcessPoolExecutor
+
+        checker_ids = tuple(checker.rule.id for checker in active)
+        with ProcessPoolExecutor(
+            max_workers=jobs,
+            initializer=_pool_init,
+            initargs=(project, graph, checker_ids, known_rules),
+        ) as pool:
+            for relpath, payload in pool.map(
+                _pool_analyze, pool_infos, chunksize=4
+            ):
+                payloads[relpath] = payload
+                run.files_analyzed += 1
+    else:
+        for info in pool_infos:
+            payloads[info.relpath] = _analyze_file(
+                info, project, graph, active, known_rules
+            )
+            run.files_analyzed += 1
+    if cache is not None:
+        for info in pending:
+            cache.put(diag_keys[info.relpath], payloads[info.relpath])
+
+    for info in infos:
+        payload = payloads[info.relpath]
+        if payload["parse"]:
+            run.parse_errors.extend(
+                Diagnostic.from_dict(d) for d in payload["parse"]
+            )
+        else:
+            run.files_checked += 1
+        run.diagnostics.extend(
+            Diagnostic.from_dict(d) for d in payload["diags"]
+        )
     run.diagnostics.sort(key=sort_key)
     return run

@@ -1,0 +1,963 @@
+"""Whole-program model: per-module summaries, import graph, call graph.
+
+The per-file checkers of PR 1 see one AST at a time, so anything routed
+through a helper in another module — an unseeded generator, an ad-hoc
+seed derivation, a ``Table`` with the wrong columns — escapes them.
+This module turns the tree into data the flow-sensitive rules (REP102
+rng-provenance, REP202 cross-module schema flow) can reason over:
+
+* a :class:`ModuleSummary` per file — imports, module-level function
+  signatures, RNG constructions with their entropy provenance, and
+  every call site with *symbolic* argument values;
+* a :class:`ProjectGraph` over all summaries — the package-internal
+  import graph (and its transitive closure, which keys the incremental
+  cache), a qualified-name function index resolved through package
+  ``__init__`` re-exports, entropy-parameter propagation, and per-
+  function input-schema inference from call sites.
+
+Summaries hold no AST nodes; they are small, picklable and cached on
+disk keyed by the file's content hash, so a warm run rebuilds the whole
+graph without parsing a single file.
+
+The RNG taint lattice (see DESIGN §10)::
+
+    GOOD < UNKNOWN < LITERAL ~ ADHOC < UNSEEDED
+
+``GOOD`` means provably derived from a caller-supplied value or a
+``SeedSequence``/``spawn`` chain; ``LITERAL`` is a hard-coded seed,
+``ADHOC`` arithmetic seed derivation (``seed + 10`` — use
+``SeedSequence.spawn`` instead), ``UNSEEDED`` OS entropy. ``UNKNOWN``
+(an expression the analysis cannot classify) is deliberately *not*
+reported: the rules only flag provable taint, never uncertainty.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+__all__ = [
+    "GOOD",
+    "UNKNOWN",
+    "LITERAL",
+    "ADHOC",
+    "UNSEEDED",
+    "SymVal",
+    "RngConstruction",
+    "CallSite",
+    "FunctionSummary",
+    "ModuleSummary",
+    "ProjectGraph",
+    "summarize_module",
+    "build_project_graph",
+]
+
+# -- RNG provenance lattice ---------------------------------------------------
+
+GOOD = "good"  # caller-supplied value or SeedSequence/spawn chain
+UNKNOWN = "unknown"  # unclassifiable; never reported
+LITERAL = "literal"  # hard-coded seed constant
+ADHOC = "adhoc"  # arithmetic seed derivation (seed + 10, 2 * seed, ...)
+UNSEEDED = "unseeded"  # OS entropy (default_rng() / SeedSequence())
+
+#: Join order: the worst provenance of any contributing operand wins.
+_SEVERITY = {GOOD: 0, UNKNOWN: 1, LITERAL: 2, ADHOC: 3, UNSEEDED: 4}
+
+
+def join(*provs: str) -> str:
+    return max(provs, key=_SEVERITY.__getitem__) if provs else UNKNOWN
+
+
+#: numpy.random callables that construct a generator/bit generator from
+#: an entropy argument (first positional or ``seed=``).
+_RNG_FACTORIES = frozenset(
+    {
+        "numpy.random.default_rng",
+        "numpy.random.Generator",
+        "numpy.random.PCG64",
+        "numpy.random.PCG64DXSM",
+        "numpy.random.Philox",
+        "numpy.random.MT19937",
+        "numpy.random.SFC64",
+    }
+)
+
+_SEEDSEQUENCE = "numpy.random.SeedSequence"
+
+#: Table methods that return a (possibly extended) view of their
+#: receiver; mirrors REP201's tracking.
+_TABLE_METHODS = frozenset({"select", "sort_by", "with_columns", "drop", "head"})
+
+
+# -- symbolic values ----------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SymVal:
+    """Symbolic value of an expression, as far as one file can tell.
+
+    ``kind`` is one of ``table`` (a Table; ``columns`` lists its known
+    column set, or None), ``rng`` (generator/seed material; ``prov`` is
+    its lattice point), ``ref`` (result of calling ``ref``, resolved
+    against the graph later), ``param`` (an enclosing-function
+    parameter) or ``other``.
+    """
+
+    kind: str
+    columns: tuple[str, ...] | None = None
+    prov: str | None = None
+    ref: str | None = None
+    param: str | None = None
+
+
+_OTHER = SymVal(kind="other")
+
+
+@dataclass(frozen=True)
+class RngConstruction:
+    """One generator/SeedSequence construction site and its provenance."""
+
+    factory: str  # "default_rng", "SeedSequence", ...
+    prov: str
+    line: int
+    col: int
+    in_function: str | None  # enclosing function name, for messages
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """A resolved call with symbolic arguments."""
+
+    callee: str  # best-effort dotted name ("repro.synth.x.f" or "f")
+    line: int
+    col: int
+    args: tuple[SymVal, ...]
+    kwargs: tuple[tuple[str, SymVal], ...]
+
+
+@dataclass
+class FunctionSummary:
+    """What the graph needs to know about one module-level function."""
+
+    qualname: str  # "repro.synth.google_model.generate"
+    name: str
+    params: tuple[str, ...] = ()
+    defaults: int = 0  # number of trailing params with defaults
+    #: Params annotated ``Table`` plus params whose only observed uses
+    #: are Table-shaped (string subscripts / Table methods).
+    table_params: tuple[str, ...] = ()
+    annotated_table_params: tuple[str, ...] = ()
+    #: Param -> ((column, line, col), ...) string-subscript reads.
+    param_accesses: dict[str, tuple[tuple[str, int, int], ...]] = field(
+        default_factory=dict
+    )
+    #: Param -> columns the function itself adds via with_columns.
+    param_added: dict[str, tuple[str, ...]] = field(default_factory=dict)
+    #: Params annotated ``np.random.Generator`` or flowing into an
+    #: entropy position (directly; the graph closes this over calls).
+    entropy_params: tuple[str, ...] = ()
+    #: Params passed onward as entropy args: param -> callee qualnames.
+    entropy_forwards: dict[str, tuple[str, ...]] = field(default_factory=dict)
+    #: Provenance of a returned generator (lattice point, or a param
+    #: name prefixed "param:", or a call ref prefixed "ref:"), if the
+    #: function can return one.
+    rng_return: str | None = None
+    #: Known column set of a returned Table literal, if derivable.
+    returns_columns: tuple[str, ...] | None = None
+    #: Return is the result of calling another function ("ref:<name>").
+    returns_ref: str | None = None
+
+
+@dataclass
+class ModuleSummary:
+    """Per-file facts; picklable, cached by content hash."""
+
+    module: str | None  # dotted name; None outside the src roots
+    relpath: str
+    #: Absolute package-internal modules this file imports.
+    imports: tuple[str, ...] = ()
+    #: Local name -> qualified name, from import statements (for
+    #: ``__init__`` files this is the re-export map).
+    exports: dict[str, str] = field(default_factory=dict)
+    functions: dict[str, FunctionSummary] = field(default_factory=dict)
+    constructions: tuple[RngConstruction, ...] = ()
+    calls: tuple[CallSite, ...] = ()
+    parse_error: str | None = None
+    parse_error_line: int = 1
+
+
+# -- per-file summarization ---------------------------------------------------
+
+
+def _annotation_mentions(annotation: ast.expr | None, name: str) -> bool:
+    if annotation is None:
+        return False
+    for node in ast.walk(annotation):
+        if isinstance(node, ast.Name) and node.id == name:
+            return True
+        if isinstance(node, ast.Attribute) and node.attr == name:
+            return True
+        if isinstance(node, ast.Constant) and node.value == name:
+            return True
+    return False
+
+
+class _Scope:
+    """Flow-sensitive-enough symbolic environment for one function body.
+
+    A single forward pass over the statements; the last binding of a
+    name wins, loops and branches are visited in source order. That is
+    deliberately coarse — provenance only has to be *provable*, and
+    re-binding a seeded generator to something worse is caught at the
+    new binding's own construction site.
+    """
+
+    def __init__(
+        self,
+        summarizer: "_ModuleSummarizer",
+        params: tuple[str, ...],
+        fn_name: str | None,
+    ) -> None:
+        self.s = summarizer
+        self.params = set(params)
+        self.fn_name = fn_name
+        self.env: dict[str, SymVal] = {}
+
+    # -- expression evaluation ------------------------------------------
+
+    def eval(self, node: ast.expr | None) -> SymVal:
+        if node is None:
+            return _OTHER
+        if isinstance(node, ast.Name):
+            if node.id in self.env:
+                return self.env[node.id]
+            if node.id in self.params:
+                return SymVal(kind="param", param=node.id)
+            return _OTHER
+        if isinstance(node, ast.Constant):
+            if isinstance(node.value, bool) or node.value is None:
+                return _OTHER
+            if isinstance(node.value, (int, float)):
+                return SymVal(kind="rng", prov=LITERAL)
+            return _OTHER
+        if isinstance(node, (ast.BinOp, ast.UnaryOp)):
+            # Arithmetic over seeds is ad-hoc stream derivation unless
+            # every operand is already unclassifiable.
+            operands = [
+                self.eval(sub)
+                for sub in ast.walk(node)
+                if isinstance(sub, (ast.Name, ast.Constant))
+            ]
+            touched = [
+                v for v in operands if v.kind in ("param", "rng")
+            ]
+            if touched:
+                return SymVal(kind="rng", prov=ADHOC)
+            return _OTHER
+        if isinstance(node, ast.IfExp):
+            return _join_vals(self.eval(node.body), self.eval(node.orelse))
+        if isinstance(node, ast.Subscript):
+            # children[i] of a spawn list keeps the list's provenance.
+            base = self.eval(node.value)
+            if base.kind == "rng":
+                return base
+            return _OTHER
+        if isinstance(node, ast.Tuple):
+            vals = [self.eval(elt) for elt in node.elts]
+            if vals and all(v.kind == "rng" for v in vals):
+                return _join_vals(*vals)
+            return _OTHER
+        if isinstance(node, ast.Dict):
+            return _OTHER
+        if isinstance(node, ast.Call):
+            return self._eval_call(node)
+        return _OTHER
+
+    def _entropy_arg(self, node: ast.Call) -> ast.expr | None:
+        """The entropy operand of a generator/SeedSequence construction."""
+        if node.args:
+            return node.args[0]
+        for kw in node.keywords:
+            if kw.arg in ("seed", "entropy"):
+                return kw.value
+        return None
+
+    def _entropy_prov(self, node: ast.Call) -> str:
+        arg = self._entropy_arg(node)
+        if arg is None:
+            return UNSEEDED
+        return self.rng_prov(self.eval(arg), arg)
+
+    def rng_prov(self, val: SymVal, arg: ast.expr | None = None) -> str:
+        """Project a symbolic value onto the RNG lattice."""
+        if val.kind == "param":
+            # Caller-supplied: provenance is enforced at the call site.
+            self.s.note_entropy_param(self.fn_name, val.param)
+            return GOOD
+        if val.kind == "rng":
+            return val.prov or UNKNOWN
+        if val.kind == "ref":
+            resolved = self.s.graph_placeholder_rng(val.ref)
+            return resolved
+        return UNKNOWN
+
+    def _eval_call(self, node: ast.Call) -> SymVal:
+        callee = self.s.resolve_callee(node.func)
+        # SeedSequence(...)/default_rng(...)-family: provenance of the
+        # entropy argument, recorded as a construction site.
+        if callee in _RNG_FACTORIES or callee == _SEEDSEQUENCE:
+            prov = self._entropy_prov(node)
+            self.s.record_construction(
+                factory=callee.rsplit(".", 1)[-1],
+                prov=prov,
+                line=node.lineno,
+                col=node.col_offset,
+                in_function=self.fn_name,
+            )
+            return SymVal(kind="rng", prov=prov)
+        # spawn()/attribute calls on seed material keep its provenance.
+        if isinstance(node.func, ast.Attribute):
+            recv = self.eval(node.func.value)
+            if recv.kind == "rng" and node.func.attr in ("spawn", "jumped"):
+                return recv
+            if recv.kind in ("table", "param") and (
+                node.func.attr in _TABLE_METHODS
+            ):
+                return self._table_method(recv, node)
+        if callee == "Table" or (callee or "").endswith(".Table"):
+            return SymVal(kind="table", columns=_dict_literal_keys(node))
+        if callee is not None:
+            self.s.record_call(node, callee, self)
+            return SymVal(kind="ref", ref=callee)
+        return _OTHER
+
+    def _table_method(self, recv: SymVal, node: ast.Call) -> SymVal:
+        added = tuple(kw.arg for kw in node.keywords if kw.arg)
+        if recv.kind == "param":
+            if node.func.attr == "with_columns" and added:
+                self.s.note_param_added(self.fn_name, recv.param, added)
+            return recv  # still schema-compatible with the param
+        columns = recv.columns
+        if columns is not None and node.func.attr == "with_columns":
+            columns = tuple(dict.fromkeys((*columns, *added)))
+        return SymVal(kind="table", columns=columns)
+
+    # -- statement walk --------------------------------------------------
+
+    def assign(self, target: ast.expr, value: SymVal) -> None:
+        if isinstance(target, ast.Name):
+            self.env[target.id] = value
+        elif isinstance(target, ast.Tuple) and value.kind == "rng":
+            for elt in target.elts:
+                self.assign(elt, value)
+
+
+def _join_vals(*vals: SymVal) -> SymVal:
+    rngs = [v for v in vals if v.kind == "rng"]
+    if rngs and len(rngs) + sum(v.kind == "param" for v in vals) == len(vals):
+        provs = [v.prov or UNKNOWN for v in rngs]
+        # params join as GOOD (caller-checked)
+        provs += [GOOD] * sum(v.kind == "param" for v in vals)
+        return SymVal(kind="rng", prov=join(*provs))
+    if len(vals) == 1:
+        return vals[0]
+    return _OTHER
+
+
+def _dict_literal_keys(node: ast.Call) -> tuple[str, ...] | None:
+    """Column names of a ``Table({...})``/``Table(dict literal)`` call."""
+    candidates: list[ast.expr] = list(node.args[:1])
+    keys: list[str] = []
+    for arg in candidates:
+        if not isinstance(arg, ast.Dict):
+            return None
+        for key in arg.keys:
+            if isinstance(key, ast.Constant) and isinstance(key.value, str):
+                keys.append(key.value)
+            else:
+                return None
+    if node.keywords:
+        for kw in node.keywords:
+            if kw.arg is None:
+                return None
+            keys.append(kw.arg)
+    return tuple(dict.fromkeys(keys)) if keys else None
+
+
+class _ModuleSummarizer:
+    """One pass over a module AST producing its :class:`ModuleSummary`."""
+
+    def __init__(
+        self, tree: ast.Module, module: str | None, relpath: str, package: str,
+        is_package: bool,
+    ) -> None:
+        # Imported lazily: the checkers package pulls in the engine,
+        # which imports this module at its own top level.
+        from .checkers._util import build_import_map
+
+        self.tree = tree
+        self.module = module
+        self.relpath = relpath
+        self.package = package
+        self.import_map = build_import_map(tree, module, is_package)
+        self.summary = ModuleSummary(module=module, relpath=relpath)
+        self._constructions: list[RngConstruction] = []
+        self._calls: list[CallSite] = []
+        self._local_funcs: set[str] = {
+            n.name
+            for n in tree.body
+            if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))
+        }
+        self._current: FunctionSummary | None = None
+
+    # -- callbacks from _Scope -------------------------------------------
+
+    def resolve_callee(self, func: ast.expr) -> str | None:
+        qual = self.import_map.resolve(func)
+        if qual is not None:
+            return qual
+        if isinstance(func, ast.Name):
+            if func.id in self._local_funcs and self.module:
+                return f"{self.module}.{func.id}"
+            return func.id
+        return None
+
+    def graph_placeholder_rng(self, ref: str) -> str:
+        # Call results are resolved against the graph later; locally
+        # they are unknown (never reported).
+        return UNKNOWN
+
+    def note_entropy_param(self, fn_name: str | None, param: str | None) -> None:
+        fn = self._current
+        if fn is None or param is None or param not in fn.params:
+            return
+        if param not in fn.entropy_params:
+            fn.entropy_params = (*fn.entropy_params, param)
+
+    def note_param_added(
+        self, fn_name: str | None, param: str | None, added: tuple[str, ...]
+    ) -> None:
+        fn = self._current
+        if fn is None or param is None:
+            return
+        merged = dict.fromkeys((*fn.param_added.get(param, ()), *added))
+        fn.param_added[param] = tuple(merged)
+
+    def record_construction(self, **kwargs: object) -> None:
+        self._constructions.append(RngConstruction(**kwargs))
+
+    def record_call(self, node: ast.Call, callee: str, scope: _Scope) -> None:
+        args = tuple(scope.eval(a) for a in node.args)
+        kwargs = tuple(
+            (kw.arg, scope.eval(kw.value))
+            for kw in node.keywords
+            if kw.arg is not None
+        )
+        self._calls.append(
+            CallSite(
+                callee=callee,
+                line=node.lineno,
+                col=node.col_offset,
+                args=args,
+                kwargs=kwargs,
+            )
+        )
+        # Params forwarded into another call may be entropy params of
+        # *that* callee; the graph closes this after indexing.
+        fn = self._current
+        if fn is not None:
+            for val in (*args, *(v for _, v in kwargs)):
+                if val.kind == "param" and val.param in fn.params:
+                    fwd = dict.fromkeys(
+                        (*fn.entropy_forwards.get(val.param, ()), callee)
+                    )
+                    fn.entropy_forwards[val.param] = tuple(fwd)
+
+    # -- the walk ---------------------------------------------------------
+
+    def run(self) -> ModuleSummary:
+        summary = self.summary
+        summary.exports = dict(self.import_map.aliases)
+        prefix = self.package + "."
+        internal: list[str] = []
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == self.package or alias.name.startswith(prefix):
+                        internal.append(alias.name)
+            elif isinstance(node, ast.ImportFrom):
+                from .checkers._util import resolve_from_module
+
+                base = resolve_from_module(
+                    node, self.module, self.relpath.endswith("__init__.py")
+                )
+                if base == self.package or base.startswith(prefix):
+                    internal.append(base)
+                    # ``from repro.x import y`` may import module y itself.
+                    for alias in node.names:
+                        internal.append(f"{base}.{alias.name}")
+        summary.imports = tuple(dict.fromkeys(internal))
+
+        # Module-level statements run in an anonymous scope.
+        top = _Scope(self, params=(), fn_name=None)
+        self._walk_body(self.tree.body, top, qual_prefix=self.module)
+
+        summary.constructions = tuple(self._constructions)
+        summary.calls = tuple(self._calls)
+        return summary
+
+    def _walk_body(
+        self,
+        body: list[ast.stmt],
+        scope: _Scope,
+        qual_prefix: str | None,
+        depth: int = 0,
+    ) -> None:
+        for stmt in body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._function(stmt, qual_prefix, top_level=depth == 0)
+            elif isinstance(stmt, ast.ClassDef):
+                for sub in stmt.body:
+                    if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        self._function(sub, None, top_level=False)
+            else:
+                self._statement(stmt, scope)
+
+    def _statement(self, stmt: ast.stmt, scope: _Scope) -> None:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            # Conditionally-defined function (inside if/try): summarize
+            # it in its own scope, never in the enclosing environment.
+            self._function(stmt, None, top_level=False)
+            return
+        if isinstance(stmt, ast.ClassDef):
+            for sub in stmt.body:
+                if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    self._function(sub, None, top_level=False)
+            return
+        if isinstance(stmt, ast.Assign):
+            value = scope.eval(stmt.value)
+            for target in stmt.targets:
+                scope.assign(target, value)
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            scope.assign(stmt.target, scope.eval(stmt.value))
+        elif isinstance(stmt, ast.Return):
+            self._note_return(stmt, scope)
+        elif isinstance(stmt, ast.Expr):
+            scope.eval(stmt.value)
+        else:
+            # Visit nested expressions/statements (if/for/while/with/try
+            # bodies) in source order with the same environment.
+            for child in ast.iter_child_nodes(stmt):
+                if isinstance(child, ast.expr):
+                    scope.eval(child)
+                elif isinstance(child, ast.stmt):
+                    self._statement(child, scope)
+                elif isinstance(child, (ast.excepthandler, ast.withitem)):
+                    for sub in ast.iter_child_nodes(child):
+                        if isinstance(sub, ast.stmt):
+                            self._statement(sub, scope)
+                        elif isinstance(sub, ast.expr):
+                            scope.eval(sub)
+
+    def _note_return(self, stmt: ast.Return, scope: _Scope) -> None:
+        fn = self._current
+        value = scope.eval(stmt.value)
+        if fn is None:
+            return
+        if value.kind == "rng":
+            fn.rng_return = _join_rng_return(fn.rng_return, value.prov or UNKNOWN)
+        elif value.kind == "param":
+            fn.rng_return = _join_rng_return(fn.rng_return, f"param:{value.param}")
+        elif value.kind == "ref":
+            fn.rng_return = _join_rng_return(fn.rng_return, f"ref:{value.ref}")
+            fn.returns_ref = value.ref
+        if value.kind == "table" and value.columns is not None:
+            merged = dict.fromkeys((*(fn.returns_columns or ()), *value.columns))
+            fn.returns_columns = tuple(merged)
+
+    def _function(
+        self,
+        node: ast.FunctionDef | ast.AsyncFunctionDef,
+        qual_prefix: str | None,
+        top_level: bool,
+    ) -> None:
+        args = node.args
+        all_args = (
+            *args.posonlyargs,
+            *args.args,
+            *args.kwonlyargs,
+        )
+        params = tuple(a.arg for a in all_args)
+        annotated_tables = tuple(
+            a.arg for a in all_args if _annotation_mentions(a.annotation, "Table")
+        )
+        entropy = tuple(
+            a.arg
+            for a in all_args
+            if _annotation_mentions(a.annotation, "Generator")
+            or _annotation_mentions(a.annotation, "SeedSequence")
+        )
+        qualname = (
+            f"{qual_prefix}.{node.name}" if qual_prefix else node.name
+        )
+        fn = FunctionSummary(
+            qualname=qualname,
+            name=node.name,
+            params=params,
+            defaults=len(args.defaults),
+            annotated_table_params=annotated_tables,
+            entropy_params=entropy,
+        )
+        outer = self._current
+        self._current = fn
+        scope = _Scope(self, params=params, fn_name=node.name)
+        self._collect_param_accesses(node, fn)
+        self._walk_body(node.body, scope, qual_prefix=None, depth=1)
+        self._current = outer
+        if top_level and self.module is not None:
+            self.summary.functions[node.name] = fn
+
+    def _collect_param_accesses(
+        self, node: ast.FunctionDef | ast.AsyncFunctionDef, fn: FunctionSummary
+    ) -> None:
+        """Record ``param["col"]`` reads and Table-shaped param usage."""
+        subscripted: dict[str, list[tuple[str, int, int]]] = {}
+        non_table_use: set[str] = set()
+        for sub in ast.walk(node):
+            if (
+                isinstance(sub, ast.Subscript)
+                and isinstance(sub.value, ast.Name)
+                and sub.value.id in fn.params
+                and isinstance(sub.ctx, ast.Load)
+            ):
+                if isinstance(sub.slice, ast.Constant) and isinstance(
+                    sub.slice.value, str
+                ):
+                    subscripted.setdefault(sub.value.id, []).append(
+                        (sub.slice.value, sub.lineno, sub.col_offset)
+                    )
+                else:
+                    non_table_use.add(sub.value.id)
+            elif (
+                isinstance(sub, ast.Call)
+                and isinstance(sub.func, ast.Name)
+                and sub.func.id in ("len", "iter", "sorted")
+            ):
+                continue
+        fn.param_accesses = {
+            p: tuple(reads) for p, reads in subscripted.items()
+        }
+        table_like = [
+            p
+            for p in fn.params
+            if p in subscripted and p not in non_table_use
+        ]
+        fn.table_params = tuple(
+            dict.fromkeys((*fn.annotated_table_params, *table_like))
+        )
+
+
+def _join_rng_return(current: str | None, new: str) -> str:
+    """Join return provenances; concrete taint dominates param/ref."""
+    if current is None or current == new:
+        return new
+    order = {UNSEEDED: 4, ADHOC: 3, LITERAL: 2}
+    cur_rank = order.get(current, 0)
+    new_rank = order.get(new, 0)
+    if new_rank or cur_rank:
+        return new if new_rank >= cur_rank else current
+    return current  # first of several param/ref returns wins
+
+
+def summarize_module(
+    source: str,
+    module: str | None,
+    relpath: str,
+    package: str,
+) -> ModuleSummary:
+    """Parse-free entry point used by the engine (and its worker pool)."""
+    try:
+        tree = ast.parse(source, filename=relpath)
+    except SyntaxError as exc:
+        return ModuleSummary(
+            module=module,
+            relpath=relpath,
+            parse_error=exc.msg or str(exc),
+            parse_error_line=exc.lineno or 1,
+        )
+    return _ModuleSummarizer(
+        tree,
+        module,
+        relpath,
+        package,
+        is_package=relpath.endswith("__init__.py"),
+    ).run()
+
+
+# -- the whole-program graph --------------------------------------------------
+
+
+@dataclass
+class InferredSchema:
+    """Input-schema inference for one (function, table-param)."""
+
+    columns: tuple[str, ...]
+    call_sites: int
+    complete: bool  # every resolved call site had a known column set
+
+
+class ProjectGraph:
+    """Import graph + call graph + resolved dataflow facts."""
+
+    def __init__(self, package: str, summaries: dict[str, ModuleSummary]):
+        self.package = package
+        #: relpath -> summary (every linted file).
+        self.files = summaries
+        #: dotted module name -> summary (package files only).
+        self.modules: dict[str, ModuleSummary] = {
+            s.module: s for s in summaries.values() if s.module
+        }
+        self.functions: dict[str, FunctionSummary] = {}
+        for s in self.modules.values():
+            for fn in s.functions.values():
+                self.functions[fn.qualname] = fn
+        self._closure_cache: dict[str, frozenset[str]] = {}
+        self._resolve_cache: dict[str, str | None] = {}
+        self._close_entropy_params()
+        self._schemas = self._infer_schemas()
+
+    # -- import graph ----------------------------------------------------
+
+    def imports_of(self, module: str) -> frozenset[str]:
+        """Package-internal modules ``module`` imports (direct)."""
+        summary = self.modules.get(module)
+        if summary is None:
+            return frozenset()
+        out = set()
+        for target in summary.imports:
+            node = target
+            # ``from repro.x import y``: record the deepest prefix that
+            # is a real module (y may be a function).
+            while node and node not in self.modules and "." in node:
+                node = node.rsplit(".", 1)[0]
+            if node in self.modules and node != module:
+                out.add(node)
+        return frozenset(out)
+
+    def import_closure(self, module: str) -> frozenset[str]:
+        """Transitive package-internal imports, excluding ``module``."""
+        cached = self._closure_cache.get(module)
+        if cached is not None:
+            return cached
+        seen: set[str] = set()
+        stack = list(self.imports_of(module))
+        while stack:
+            nxt = stack.pop()
+            if nxt in seen:
+                continue
+            seen.add(nxt)
+            stack.extend(self.imports_of(nxt) - seen)
+        seen.discard(module)
+        result = frozenset(seen)
+        self._closure_cache[module] = result
+        return result
+
+    def dependents(self, module: str) -> frozenset[str]:
+        """Modules whose import closure contains ``module``."""
+        return frozenset(
+            m for m in self.modules if m != module and module in self.import_closure(m)
+        )
+
+    # -- name resolution --------------------------------------------------
+
+    def resolve_function(self, qualname: str | None) -> FunctionSummary | None:
+        """Follow package ``__init__`` re-export chains to a function."""
+        if qualname is None:
+            return None
+        if qualname in self._resolve_cache:
+            resolved = self._resolve_cache[qualname]
+            return self.functions.get(resolved) if resolved else None
+        seen: set[str] = set()
+        node: str | None = qualname
+        while node is not None and node not in seen:
+            seen.add(node)
+            if node in self.functions:
+                self._resolve_cache[qualname] = node
+                return self.functions[node]
+            if "." not in node:
+                break
+            mod, name = node.rsplit(".", 1)
+            summary = self.modules.get(mod)
+            node = summary.exports.get(name) if summary else None
+        self._resolve_cache[qualname] = None
+        return None
+
+    # -- RNG dataflow ------------------------------------------------------
+
+    def _close_entropy_params(self, rounds: int = 4) -> None:
+        """Propagate entropy-param status through forwarding calls."""
+        for _ in range(rounds):
+            changed = False
+            for fn in self.functions.values():
+                for param, callees in fn.entropy_forwards.items():
+                    if param in fn.entropy_params:
+                        continue
+                    for callee in callees:
+                        target = self.resolve_function(callee)
+                        if target is None:
+                            continue
+                        site = self._forward_position(fn, param, target)
+                        if site and site in target.entropy_params:
+                            fn.entropy_params = (*fn.entropy_params, param)
+                            changed = True
+                            break
+            if not changed:
+                return
+
+    def _forward_position(
+        self, fn: FunctionSummary, param: str, target: FunctionSummary
+    ) -> str | None:
+        """Which of ``target``'s params receives ``fn``'s ``param``."""
+        module = self.modules.get(fn.qualname.rsplit(".", 1)[0])
+        if module is None:
+            return None
+        for call in module.calls:
+            resolved = self.resolve_function(call.callee)
+            if resolved is not target:
+                continue
+            for i, val in enumerate(call.args):
+                if val.kind == "param" and val.param == param:
+                    if i < len(target.params):
+                        return target.params[i]
+            for name, val in call.kwargs:
+                if val.kind == "param" and val.param == param:
+                    return name
+        return None
+
+    def rng_return_prov(self, fn: FunctionSummary, depth: int = 0) -> str | None:
+        """Concrete provenance of ``fn``'s returned generator, if any.
+
+        ``param:`` returns resolve to GOOD (call-site args are checked
+        separately); ``ref:`` chains are followed to a fixed depth.
+        """
+        ret = fn.rng_return
+        if ret is None:
+            return None
+        if ret.startswith("param:"):
+            return GOOD
+        if ret.startswith("ref:"):
+            if depth >= 8:
+                return UNKNOWN
+            target = self.resolve_function(ret[4:])
+            if target is None:
+                return UNKNOWN
+            return self.rng_return_prov(target, depth + 1) or UNKNOWN
+        return ret
+
+    def arg_rng_prov(self, val: SymVal, depth: int = 0) -> str:
+        """RNG provenance of a call-site argument value."""
+        if val.kind == "param":
+            return GOOD
+        if val.kind == "rng":
+            return val.prov or UNKNOWN
+        if val.kind == "ref" and depth < 8:
+            target = self.resolve_function(val.ref)
+            if target is not None:
+                prov = self.rng_return_prov(target, depth + 1)
+                if prov is not None:
+                    return prov
+        return UNKNOWN
+
+    # -- schema dataflow ---------------------------------------------------
+
+    def arg_columns(
+        self, val: SymVal, depth: int = 0
+    ) -> tuple[str, ...] | None:
+        """Known column set carried by a call-site argument, if any."""
+        if val.kind == "table":
+            return val.columns
+        if val.kind == "ref" and depth < 8:
+            target = self.resolve_function(val.ref)
+            if target is not None:
+                if target.returns_columns is not None:
+                    return target.returns_columns
+                if target.returns_ref is not None:
+                    return self.arg_columns(
+                        SymVal(kind="ref", ref=target.returns_ref), depth + 1
+                    )
+        return None
+
+    def _infer_schemas(self) -> dict[tuple[str, str], InferredSchema]:
+        """Union of call-site column sets per (function, table-param)."""
+        acc: dict[tuple[str, str], dict[str, object]] = {}
+        for summary in self.modules.values():
+            for call in summary.calls:
+                target = self.resolve_function(call.callee)
+                if target is None or not target.table_params:
+                    continue
+                bound = self._bind(call, target)
+                for param in target.table_params:
+                    if param not in bound:
+                        continue
+                    key = (target.qualname, param)
+                    slot = acc.setdefault(
+                        key, {"columns": set(), "sites": 0, "complete": True}
+                    )
+                    slot["sites"] += 1
+                    columns = None
+                    val = bound[param]
+                    if val.kind in ("table", "ref"):
+                        columns = self.arg_columns(val)
+                    if columns is None:
+                        slot["complete"] = False
+                    else:
+                        slot["columns"].update(columns)
+        return {
+            key: InferredSchema(
+                columns=tuple(sorted(slot["columns"])),
+                call_sites=slot["sites"],
+                complete=bool(slot["complete"]),
+            )
+            for key, slot in acc.items()
+        }
+
+    def _bind(
+        self, call: CallSite, target: FunctionSummary
+    ) -> dict[str, SymVal]:
+        bound: dict[str, SymVal] = {}
+        params = list(target.params)
+        if params and params[0] == "self":
+            params = params[1:]
+        for i, val in enumerate(call.args):
+            if i < len(params):
+                bound[params[i]] = val
+        for name, val in call.kwargs:
+            if name in params:
+                bound[name] = val
+        return bound
+
+    def inferred_schema(
+        self, qualname: str, param: str
+    ) -> InferredSchema | None:
+        return self._schemas.get((qualname, param))
+
+    def schemas_for_module(
+        self, module: str
+    ) -> dict[tuple[str, str], InferredSchema]:
+        """Inference results for functions defined in ``module`` — the
+        cross-module fact set a file's diagnostics depend on, used to
+        key the incremental cache."""
+        prefix = module + "."
+        return {
+            key: schema
+            for key, schema in self._schemas.items()
+            if key[0].startswith(prefix)
+            and "." not in key[0][len(prefix):]
+        }
+
+
+def build_project_graph(
+    summaries: dict[str, ModuleSummary], package: str
+) -> ProjectGraph:
+    """Assemble the whole-program graph from per-file summaries."""
+    return ProjectGraph(package, summaries)

@@ -1,12 +1,13 @@
-"""Diagnostic reporters: human-readable text and machine-readable JSON."""
+"""Diagnostic reporters: text, JSON and SARIF 2.1.0 output."""
 
 from __future__ import annotations
 
 import json
 
+from .diagnostics import Severity
 from .engine import LintRun
 
-__all__ = ["render_text", "render_json"]
+__all__ = ["render_text", "render_json", "render_sarif"]
 
 
 def render_text(run: LintRun, verbose: bool = True) -> str:
@@ -22,8 +23,14 @@ def render_text(run: LintRun, verbose: bool = True) -> str:
     count = len(run.all_diagnostics)
     noun = "diagnostic" if count == 1 else "diagnostics"
     files = "file" if run.files_checked == 1 else "files"
+    cached = (
+        f" (analyzed {run.files_analyzed}, cached {run.files_cached})"
+        if run.files_cached
+        else ""
+    )
     lines.append(
         f"reprolint: {count} {noun} in {run.files_checked} {files}"
+        + cached
         + ("" if count else " — clean")
     )
     return "\n".join(lines)
@@ -32,7 +39,89 @@ def render_text(run: LintRun, verbose: bool = True) -> str:
 def render_json(run: LintRun) -> str:
     payload = {
         "files_checked": run.files_checked,
+        "files_analyzed": run.files_analyzed,
+        "files_cached": run.files_cached,
         "diagnostics": [d.to_dict() for d in run.all_diagnostics],
         "exit_code": run.exit_code,
     }
     return json.dumps(payload, indent=2, sort_keys=True)
+
+
+#: SARIF severity levels by diagnostic severity.
+_SARIF_LEVELS = {Severity.ERROR: "error", Severity.WARNING: "warning"}
+
+
+def render_sarif(run: LintRun) -> str:
+    """SARIF 2.1.0 log, the interchange format code-scanning UIs ingest.
+
+    Columns are 1-based in SARIF (the AST's are 0-based, hence the +1);
+    paths are emitted project-relative against ``%SRCROOT%``.
+    """
+    from .registry import iter_rules
+
+    rules = [
+        {
+            "id": rule.id,
+            "name": rule.name,
+            "shortDescription": {"text": rule.summary},
+            "defaultConfiguration": {"level": "error"},
+        }
+        for rule in iter_rules()
+    ]
+    rules.append(
+        {
+            "id": "REP000",
+            "name": "parse-error",
+            "shortDescription": {"text": "file could not be parsed"},
+            "defaultConfiguration": {"level": "error"},
+        }
+    )
+    results = []
+    for diag in run.all_diagnostics:
+        message = diag.message + (f" ({diag.hint})" if diag.hint else "")
+        results.append(
+            {
+                "ruleId": diag.rule_id,
+                "level": _SARIF_LEVELS.get(diag.severity, "warning"),
+                "message": {"text": message},
+                "locations": [
+                    {
+                        "physicalLocation": {
+                            "artifactLocation": {
+                                "uri": diag.path,
+                                "uriBaseId": "%SRCROOT%",
+                            },
+                            "region": {
+                                "startLine": diag.line,
+                                "startColumn": diag.col + 1,
+                            },
+                        }
+                    }
+                ],
+            }
+        )
+    log = {
+        "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "informationUri": (
+                            "https://example.invalid/repro-lint"
+                        ),
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+                "originalUriBaseIds": {"%SRCROOT%": {"uri": "file:///"}},
+                "properties": {
+                    "filesChecked": run.files_checked,
+                    "filesAnalyzed": run.files_analyzed,
+                    "filesCached": run.files_cached,
+                },
+            }
+        ],
+    }
+    return json.dumps(log, indent=2, sort_keys=True)

@@ -15,7 +15,7 @@ import numpy as np
 
 from ..core.fairness import jain_fairness
 from ..core.masscount import MassCount, mass_count
-from ..traces.table import Table
+from ..core.table import Table
 
 __all__ = ["UserSummary", "user_summary", "top_user_share", "jobs_per_user"]
 

@@ -58,7 +58,7 @@ from ..synth.google_model import (
 from ..synth.machines import generate_machines
 from ..synth.presets import DAY, HOUR
 from ..traces.schema import priority_band_array
-from ..traces.table import Table
+from ..core.table import Table
 from .datasets import SCALES
 from .registry import EXPERIMENTS
 
@@ -365,6 +365,72 @@ def _bench_hostload_pipeline(scale: str, seed: int) -> dict[str, object]:
     return _entry("hostload_pipeline", scale, wall, cpu, tasks=int(total))
 
 
+def _lint_root() -> Path | None:
+    """Repo root holding the lintable source tree, if we run from one.
+
+    Walks up from this file looking for ``pyproject.toml`` with a
+    ``[tool.reprolint]`` table; returns None under an installed wheel,
+    where there is no tree to lint and the bench entry is skipped.
+    """
+    for parent in Path(__file__).resolve().parents:
+        marker = parent / "pyproject.toml"
+        if marker.is_file() and "[tool.reprolint]" in marker.read_text():
+            return parent
+    return None
+
+
+def _bench_reprolint(log: Callable[[str], None]) -> list[dict[str, object]]:
+    """Cold and warm-cache lint of the repo's own src tree.
+
+    The warm entry's speedup (cold wall over warm wall) tracks the
+    incremental cache's payoff: a warm run re-analyzes nothing, so the
+    ratio collapsing toward 1x means invalidation broke.
+    """
+    root = _lint_root()
+    if root is None:
+        log("  reprolint: no source tree found, skipped")
+        return []
+    import shutil
+    import tempfile
+
+    # The analysis layer sits above experiments by design; the bench
+    # harness measures every subsystem, so this one import crosses up.
+    from ..analysis.engine import lint_paths  # reprolint: disable=REP301
+
+    cache_dir = Path(tempfile.mkdtemp(prefix="reprolint-bench-"))
+    try:
+        run, cold_wall, cold_cpu = _timed(
+            lambda: lint_paths(
+                [root / "src"], root=root, cache_dir=cache_dir
+            ),
+            max_repeats=1,
+        )
+        warm_run, warm_wall, warm_cpu = _timed(
+            lambda: lint_paths(
+                [root / "src"], root=root, cache_dir=cache_dir
+            ),
+            max_repeats=1,
+        )
+    finally:
+        shutil.rmtree(cache_dir, ignore_errors=True)
+    entries = [
+        _entry(
+            "reprolint_cold", "repo", cold_wall, cold_cpu,
+            tasks=run.files_checked,
+        ),
+        _entry(
+            "reprolint_warm", "repo", warm_wall, warm_cpu,
+            tasks=warm_run.files_checked,
+            scalar_wall_s=cold_wall,
+        ),
+    ]
+    log(
+        f"  reprolint [repo] cold={cold_wall:.2f}s warm={warm_wall:.2f}s "
+        f"files={run.files_checked} warm_analyzed={warm_run.files_analyzed}"
+    )
+    return entries
+
+
 def _bench_experiments(
     scale: str, seed: int, log: Callable[[str], None]
 ) -> list[dict[str, object]]:
@@ -411,6 +477,7 @@ def run_benchmarks(
             f"tasks={entry['tasks_per_s']}/s rss={entry['peak_rss_kb']}kB")
         if experiments and scale in SCALES:
             entries.extend(_bench_experiments(scale, seed, log))
+    entries.extend(_bench_reprolint(log))
     return entries
 
 

@@ -42,7 +42,7 @@ from ..synth.grid_model import generate_all_grids
 from ..synth.machines import generate_machines
 from ..synth.presets import DAY, GRID_PRESETS
 from ..traces.convert import grid_jobs_to_job_table
-from ..traces.table import Table
+from ..core.table import Table
 
 __all__ = [
     "DATASET_CACHE_VERSION",

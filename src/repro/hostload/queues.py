@@ -14,7 +14,7 @@ import numpy as np
 
 from ..core.segments import QUEUE_STATE_LEVELS, level_durations
 from ..traces.schema import TaskEvent
-from ..traces.table import Table
+from ..core.table import Table
 
 __all__ = ["QueueStateSeries", "machine_queue_state", "running_state_durations", "task_spans"]
 

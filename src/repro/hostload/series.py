@@ -13,7 +13,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..core.kernels import grouped_sort_split
-from ..traces.table import Table
+from ..core.table import Table
 
 __all__ = [
     "MachineLoadSeries",

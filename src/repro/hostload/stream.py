@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..traces.table import Table
+from ..core.table import Table
 
 __all__ = ["USAGE_GRID_SCHEMA", "UsageGridAccumulator"]
 

@@ -21,7 +21,7 @@ import numpy as np
 
 from ..synth.google_model import TaskRequests
 from ..traces.schema import TASK_EVENT_SCHEMA, TaskEvent, TaskState, priority_band_array
-from ..traces.table import Table
+from ..core.table import Table
 from .churn import ChurnModel, sample_outages
 from .constraints import ConstraintModel
 from .engine import EventQueue

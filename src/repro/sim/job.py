@@ -10,7 +10,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..traces.schema import JOB_TABLE_SCHEMA, TaskEvent
-from ..traces.table import Table
+from ..core.table import Table
 
 __all__ = ["jobs_from_events"]
 

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..traces.table import Table
+from ..core.table import Table
 from .task import SimTask
 
 __all__ = ["FleetState"]

@@ -13,7 +13,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..traces.table import Table
+from ..core.table import Table
 from .machine import FleetState
 
 __all__ = ["MonitorConfig", "UsageMonitor", "MACHINE_USAGE_SCHEMA", "CLUSTER_SERIES_SCHEMA"]

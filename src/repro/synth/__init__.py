@@ -7,7 +7,7 @@ from .arrivals import (
     cv_for_fairness,
     diurnal_profile,
 )
-from .distributions import (
+from ..core.distributions import (
     BoundedPareto,
     Deterministic,
     Distribution,

@@ -34,9 +34,9 @@ from ..traces.schema import (
     TaskEvent,
     priority_band_array,
 )
-from ..traces.table import Table
+from ..core.table import Table
 from .arrivals import DoublyStochasticArrivals, cv_for_fairness
-from .distributions import BoundedPareto, Distribution, LogNormal, Mixture
+from ..core.distributions import BoundedPareto, Distribution, LogNormal, Mixture
 from .machines import FleetConfig, generate_machines
 from .presets import (
     DAY,

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..traces.table import Table
+from ..core.table import Table
 from .arrivals import DoublyStochasticArrivals, cv_for_fairness
 from .presets import GRID_PRESETS, GridSystemPreset
 from ..traces.gwa import gwa_table

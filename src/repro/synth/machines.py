@@ -13,7 +13,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..traces.schema import MACHINE_TABLE_SCHEMA
-from ..traces.table import Table
+from ..core.table import Table
 
 __all__ = ["FleetConfig", "generate_machines", "DEFAULT_FLEET"]
 

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from .distributions import BoundedPareto, Distribution, LogNormal, Mixture
+from ..core.distributions import BoundedPareto, Distribution, LogNormal, Mixture
 
 __all__ = [
     "GridSystemPreset",

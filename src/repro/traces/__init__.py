@@ -32,7 +32,7 @@ from .schema import (
 )
 from .slice import downsample_usage, select_machines, slice_time
 from .swf import read_swf, swf_table, write_swf
-from .table import Table, concat_tables
+from ..core.table import Table, concat_tables
 from .validate import ValidationError, validate_job_table, validate_trace
 
 __all__ = [

@@ -14,7 +14,7 @@ import numpy as np
 
 from ..core.compare import job_interarrival_times
 from .schema import GWA_JOB_SCHEMA, JOB_TABLE_SCHEMA, SWF_JOB_SCHEMA
-from .table import Table
+from ..core.table import Table
 
 __all__ = ["grid_jobs_to_job_table", "job_interarrival_times"]
 

@@ -20,7 +20,7 @@ from .schema import (
     TASK_USAGE_SCHEMA,
     TaskEvent,
 )
-from .table import Table
+from ..core.table import Table
 
 __all__ = ["GoogleTrace", "task_lengths", "job_lengths", "completion_mix"]
 

@@ -16,7 +16,7 @@ import numpy as np
 
 from .io import _open_text, read_numeric_lines
 from .schema import GWA_JOB_SCHEMA
-from .table import Table
+from ..core.table import Table
 
 __all__ = ["read_gwa", "write_gwa", "gwa_table", "MISSING"]
 

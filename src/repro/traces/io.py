@@ -1,4 +1,4 @@
-"""Generic CSV(.gz) round-trip for :class:`~repro.traces.table.Table`.
+"""Generic CSV(.gz) round-trip for :class:`~repro.core.table.Table`.
 
 The Google clusterdata release ships tables as gzipped CSV shards; this
 module provides the same serialization for any of our tables, plus a
@@ -35,7 +35,7 @@ from .schema import (
     TASK_EVENT_SCHEMA,
     TASK_USAGE_SCHEMA,
 )
-from .table import Table
+from ..core.table import Table
 
 __all__ = [
     "TraceParseError",

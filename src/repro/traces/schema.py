@@ -4,7 +4,7 @@ The layout mirrors the public Google clusterdata-2011 trace format
 (job-events, task-events, task-usage, machine-events tables) plus the
 archive formats the paper compares against (GWA and SWF job records).
 All tables in this package are column-oriented: a mapping from column
-name to a 1-D NumPy array, wrapped by :class:`repro.traces.table.Table`.
+name to a 1-D NumPy array, wrapped by :class:`repro.core.table.Table`.
 """
 
 from __future__ import annotations

@@ -13,7 +13,7 @@ import dataclasses
 import numpy as np
 
 from .google import GoogleTrace
-from .table import Table
+from ..core.table import Table
 
 __all__ = ["slice_time", "select_machines", "downsample_usage"]
 

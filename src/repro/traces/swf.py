@@ -15,7 +15,7 @@ import numpy as np
 
 from .io import _open_text, read_numeric_lines
 from .schema import SWF_JOB_SCHEMA
-from .table import Table
+from ..core.table import Table
 
 __all__ = ["read_swf", "write_swf", "swf_table"]
 

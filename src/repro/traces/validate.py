@@ -12,7 +12,7 @@ import numpy as np
 
 from .google import GoogleTrace
 from .schema import NUM_PRIORITIES, TaskEvent
-from .table import Table
+from ..core.table import Table
 
 __all__ = ["ValidationError", "validate_trace", "validate_job_table"]
 

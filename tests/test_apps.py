@@ -9,7 +9,7 @@ from repro.apps.consolidation import (
     pack_demands,
 )
 from repro.apps.users import jobs_per_user, top_user_share, user_summary
-from repro.traces.table import Table
+from repro.core.table import Table
 
 
 class TestPackDemands:

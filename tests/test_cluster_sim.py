@@ -181,7 +181,7 @@ class TestSchedulingBehavior:
     def test_high_priority_preempts_low(self):
         """A saturating low-priority load must yield to high priority."""
         from repro.synth.google_model import TaskRequests
-        from repro.traces.table import Table
+        from repro.core.table import Table
 
         machines = Table(
             {
@@ -251,7 +251,7 @@ class TestJobsFromEvents:
         assert np.all(jobs["end_time"] >= jobs["submit_time"])
 
     def test_empty_rejected(self):
-        from repro.traces.table import Table
+        from repro.core.table import Table
         from repro.traces.schema import TASK_EVENT_SCHEMA
 
         empty = Table(

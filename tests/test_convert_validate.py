@@ -8,7 +8,7 @@ from repro.traces.convert import grid_jobs_to_job_table, job_interarrival_times
 from repro.traces.gwa import gwa_table
 from repro.traces.schema import JOB_TABLE_SCHEMA, TaskEvent
 from repro.traces.swf import swf_table
-from repro.traces.table import Table
+from repro.core.table import Table
 from repro.traces.validate import (
     ValidationError,
     validate_job_table,

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.synth.distributions import (
+from repro.core.distributions import (
     BoundedPareto,
     Deterministic,
     Exponential,

@@ -69,7 +69,7 @@ class TestWeibullFit:
 
 class TestBoundedParetoFit:
     def test_recovers_alpha(self, rng):
-        from repro.synth.distributions import BoundedPareto
+        from repro.core.distributions import BoundedPareto
 
         true = BoundedPareto(alpha=0.6, low=1.0, high=1e5)
         sample = true.sample(rng, 50000)

@@ -39,7 +39,7 @@ class TestPresets:
 
     def test_preset_validation(self):
         from repro.synth.presets import GridSystemPreset
-        from repro.synth.distributions import Deterministic
+        from repro.core.distributions import Deterministic
 
         with pytest.raises(ValueError):
             GridSystemPreset(

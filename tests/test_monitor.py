@@ -11,7 +11,7 @@ from repro.sim.monitor import (
     UsageMonitor,
 )
 from repro.sim.task import SimTask
-from repro.traces.table import Table
+from repro.core.table import Table
 
 
 def _fleet(n=3):

@@ -11,7 +11,7 @@ from repro.core.fairness import hourly_counts, jain_fairness
 from repro.core.masscount import mass_count
 from repro.core.noise import autocorrelation, mean_filter
 from repro.core.segments import constant_segments, discretize
-from repro.traces.table import Table, concat_tables
+from repro.core.table import Table, concat_tables
 
 finite_floats = st.floats(
     min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False

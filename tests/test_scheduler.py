@@ -6,7 +6,7 @@ import pytest
 from repro.sim.machine import FleetState
 from repro.sim.scheduler import PLACEMENT_POLICIES, PendingQueue, choose_machine
 from repro.sim.task import SimTask
-from repro.traces.table import Table
+from repro.core.table import Table
 
 
 def _task(priority=5, cpu=0.1, mem=0.1, job=0):

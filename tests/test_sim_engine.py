@@ -166,7 +166,7 @@ class TestFleetState:
         assert fleet.eviction_victims(0, bigger) is None
 
     def test_empty_fleet_rejected(self):
-        from repro.traces.table import Table
+        from repro.core.table import Table
 
         empty = Table(
             {

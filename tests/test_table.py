@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.traces.table import Table, concat_tables
+from repro.core.table import Table, concat_tables
 
 
 def _table() -> Table:

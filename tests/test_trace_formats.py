@@ -17,7 +17,7 @@ from repro.traces.io import (
 )
 from repro.traces.schema import GWA_JOB_SCHEMA, SWF_JOB_SCHEMA
 from repro.traces.swf import read_swf, swf_table, write_swf
-from repro.traces.table import Table
+from repro.core.table import Table
 
 
 def _gwa():
