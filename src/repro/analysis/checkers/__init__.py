@@ -7,6 +7,8 @@ that applies the :func:`~repro.analysis.registry.register` decorator.
 
 from . import (  # noqa: F401
     layering,
+    ordered_sink,
+    pickle_boundary,
     registry_complete,
     rng,
     rngflow,
@@ -16,4 +18,5 @@ from . import (  # noqa: F401
     silentexcept,
     suppressions,
     wallclock,
+    worker_purity,
 )

@@ -45,6 +45,8 @@ class LintConfig:
 
     #: Rule ids to run; empty means "all registered rules".
     enable: tuple[str, ...] = ()
+    #: Rule ids to skip even when enabled (CLI ``--ignore`` merges in).
+    ignore: tuple[str, ...] = ()
     #: Glob patterns (matched against project-relative posix paths) that
     #: are skipped entirely.
     exclude: tuple[str, ...] = ("*.egg-info/*", "*__pycache__*")
@@ -80,8 +82,17 @@ class LintConfig:
         "prediction",
         "sim",
     )
+    #: Modules whose module-level state is process-local by design
+    #: (per-worker caches, counters); REP103 does not flag writes to
+    #: their own globals from worker-reachable code.
+    worker_state_modules: tuple[str, ...] = ()
+    #: Extra worker entry points (qualnames) beyond the pool-submit /
+    #: Process sites the graph discovers syntactically.
+    worker_roots: tuple[str, ...] = ()
 
     def rule_enabled(self, rule_id: str) -> bool:
+        if rule_id in self.ignore:
+            return False
         return not self.enable or rule_id in self.enable
 
     def path_excluded(self, relpath: str) -> bool:
@@ -109,12 +120,15 @@ def _config_from_mapping(section: dict[str, object]) -> LintConfig:
     data = {_norm_key(k): v for k, v in section.items()}
     for key in (
         "enable",
+        "ignore",
         "exclude",
         "src_roots",
         "non_experiment_modules",
         "extra_table_columns",
         "extra_metrics_keys",
         "rng_scope",
+        "worker_state_modules",
+        "worker_roots",
     ):
         if key in data:
             setattr(cfg, key, _coerce_str_tuple(data[key]))

@@ -289,6 +289,7 @@ def _diagnostics_key(
     module_hashes: dict[str, str],
     config_fp: str,
     facts_fp: str,
+    worker_roots: tuple[str, ...] = (),
 ) -> str:
     closure: tuple[str, ...] = ()
     flow = "no-module"
@@ -298,7 +299,16 @@ def _diagnostics_key(
             for mod in graph.import_closure(info.module)
             if mod in module_hashes
         )
-        flow = fingerprint(graph.schemas_for_module(info.module))
+        # Cross-module facts this file's diagnostics depend on that the
+        # import closure does NOT cover, because they point *against*
+        # import direction: schemas inferred from callers (REP202) and
+        # worker-reachability verdicts from shipping sites (REP103).
+        flow = fingerprint(
+            (
+                graph.schemas_for_module(info.module),
+                graph.effect_facts_for_module(info.module, worker_roots),
+            )
+        )
     return LintCache.diagnostics_key(
         config_fp, facts_fp, info.src_hash, closure, flow
     )
@@ -456,6 +466,8 @@ def lint_paths(
     *,
     jobs: int = 1,
     cache_dir: str | Path | None = None,
+    select: Sequence[str] = (),
+    ignore: Sequence[str] = (),
 ) -> LintRun:
     """Lint files/directories and return the collected diagnostics.
 
@@ -464,7 +476,10 @@ def lint_paths(
     if any, configures the run). ``jobs > 1`` parses and analyzes in a
     process pool (``jobs=0`` means one per CPU); ``cache_dir`` enables
     the incremental cache, after which unchanged files are served
-    without being re-analyzed.
+    without being re-analyzed. ``select`` narrows the run to exactly
+    those rules; ``ignore`` drops rules on top of whatever the config
+    enables. Both are folded into the effective config *before* its
+    fingerprint is taken, so filtered runs key their own cache entries.
     """
     resolved_paths = [Path(p) for p in paths]
     if not resolved_paths:
@@ -477,6 +492,24 @@ def lint_paths(
     if project is None:
         project = build_project_context(root_path)
     config = project.config
+    if select or ignore:
+        from dataclasses import replace
+
+        from .registry import iter_rules
+
+        known = frozenset(rule.id for rule in iter_rules())
+        unknown = sorted(set((*select, *ignore)) - known)
+        if unknown:
+            raise ValueError(
+                f"unknown rule id(s): {', '.join(unknown)}; "
+                f"known rules: {', '.join(sorted(known))}"
+            )
+        config = replace(
+            config,
+            enable=tuple(select) if select else config.enable,
+            ignore=tuple(dict.fromkeys((*config.ignore, *ignore))),
+        )
+        project = replace(project, config=config)
     custom_checkers = checkers is not None
     active = [
         checker
@@ -544,7 +577,12 @@ def lint_paths(
     for info in infos:
         if cache is not None:
             key = _diagnostics_key(
-                info, graph, module_hashes, config_fp, facts_fp
+                info,
+                graph,
+                module_hashes,
+                config_fp,
+                facts_fp,
+                config.worker_roots,
             )
             diag_keys[info.relpath] = key
             hit = cache.get(key)

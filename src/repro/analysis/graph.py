@@ -7,13 +7,19 @@ This module turns the tree into data the flow-sensitive rules (REP102
 rng-provenance, REP202 cross-module schema flow) can reason over:
 
 * a :class:`ModuleSummary` per file — imports, module-level function
-  signatures, RNG constructions with their entropy provenance, and
-  every call site with *symbolic* argument values;
+  signatures, RNG constructions with their entropy provenance, every
+  call site with *symbolic* argument values, per-function *effect*
+  sites (module-global writes, mutable-default mutation, env/fs/
+  process effects, unordered-collection iteration) and every
+  process-boundary ship site (pool submissions, ``Process`` targets,
+  result pipes, disk-cache payloads);
 * a :class:`ProjectGraph` over all summaries — the package-internal
   import graph (and its transitive closure, which keys the incremental
   cache), a qualified-name function index resolved through package
-  ``__init__`` re-exports, entropy-parameter propagation, and per-
-  function input-schema inference from call sites.
+  ``__init__`` re-exports, entropy-parameter propagation, per-function
+  input-schema inference from call sites, and the worker-reachability
+  fixpoint the parallel-safety rules (REP103/REP203/REP303, DESIGN
+  §11) consult.
 
 Summaries hold no AST nodes; they are small, picklable and cached on
 disk keyed by the file's content hash, so a warm run rebuilds the whole
@@ -45,12 +51,49 @@ __all__ = [
     "SymVal",
     "RngConstruction",
     "CallSite",
+    "EffectSite",
+    "ShippedValue",
+    "BoundarySite",
     "FunctionSummary",
     "ModuleSummary",
     "ProjectGraph",
     "summarize_module",
     "build_project_graph",
 ]
+
+# -- effect lattice -----------------------------------------------------------
+
+#: Per-function effect kinds (powerset lattice, join = union). The
+#: first two are what REP103 reports for worker-reachable functions;
+#: ``env``/``fs``/``process`` are tracked for completeness (and tests)
+#: but never fire on their own; ``unordered-iter`` feeds REP203.
+GLOBAL_WRITE = "global-write"  # assignment/mutation of module-level state
+DEFAULT_MUTATION = "default-mutation"  # mutation of a mutable default
+ENV_EFFECT = "env"  # os.environ / putenv writes
+FS_EFFECT = "fs"  # file writes, deletes, mkdir
+PROC_EFFECT = "process"  # subprocess / fork / exec
+UNORDERED_ITER = "unordered-iter"  # set iteration into an ordered sink
+UNORDERED_ITER_REF = "unordered-iter-ref"  # same, via a call result
+
+#: Container-mutating method names; a call ``X.append(...)`` where
+#: ``X`` is module-level (or a mutable default) is a write to it.
+_MUTATORS = frozenset(
+    {
+        "append",
+        "extend",
+        "insert",
+        "add",
+        "update",
+        "setdefault",
+        "pop",
+        "popitem",
+        "remove",
+        "discard",
+        "clear",
+        "appendleft",
+        "cache_clear",
+    }
+)
 
 # -- RNG provenance lattice ---------------------------------------------------
 
@@ -88,6 +131,16 @@ _SEEDSEQUENCE = "numpy.random.SeedSequence"
 #: receiver; mirrors REP201's tracking.
 _TABLE_METHODS = frozenset({"select", "sort_by", "with_columns", "drop", "head"})
 
+#: Set methods whose result is still an unordered set.
+_SET_METHODS = frozenset(
+    {"union", "intersection", "difference", "symmetric_difference", "copy"}
+)
+
+#: Executor/pool methods that ship their arguments to worker processes.
+_POOL_SHIP = frozenset(
+    {"submit", "apply_async", "map", "starmap", "imap", "imap_unordered"}
+)
+
 
 # -- symbolic values ----------------------------------------------------------
 
@@ -100,7 +153,12 @@ class SymVal:
     column set, or None), ``rng`` (generator/seed material; ``prov`` is
     its lattice point), ``ref`` (result of calling ``ref``, resolved
     against the graph later), ``param`` (an enclosing-function
-    parameter) or ``other``.
+    parameter), ``uset`` (a set/frozenset or anything inheriting its
+    iteration order), ``funcref`` (a module-level function used as a
+    value; ``ref`` is its qualname), ``localfn``/``localcls`` (a
+    lambda, nested def or local class — unpicklable by construction),
+    ``handle`` (an open file object), ``pool`` (an executor/
+    multiprocessing context), ``cache`` (a disk cache) or ``other``.
     """
 
     kind: str
@@ -133,6 +191,63 @@ class CallSite:
     col: int
     args: tuple[SymVal, ...]
     kwargs: tuple[tuple[str, SymVal], ...]
+    #: Enclosing *top-level* function name (None at module level or in
+    #: methods); the worker-reachability call graph hangs off this.
+    in_function: str | None = None
+
+
+@dataclass(frozen=True)
+class EffectSite:
+    """One side effect observed in a function (or module) body.
+
+    ``kind`` is one of the effect-lattice points (:data:`GLOBAL_WRITE`,
+    :data:`DEFAULT_MUTATION`, :data:`ENV_EFFECT`, :data:`FS_EFFECT`,
+    :data:`PROC_EFFECT`, :data:`UNORDERED_ITER`,
+    :data:`UNORDERED_ITER_REF`); ``detail`` names the written global /
+    mutated param / iterated expression (for ``unordered-iter-ref``, the
+    qualname of the call whose result is iterated, resolved against the
+    graph).
+    """
+
+    kind: str
+    detail: str
+    line: int
+    col: int
+    #: What consumed the value, for unordered-iter messages ("join",
+    #: "list", "for-loop", ...); empty for write effects.
+    sink: str = ""
+
+
+@dataclass(frozen=True)
+class ShippedValue:
+    """One value crossing a process boundary at a :class:`BoundarySite`.
+
+    ``kind`` mirrors :class:`SymVal` kinds; REP303 flags ``lambda``/
+    ``localfn``/``localcls``/``handle`` (statically unpicklable), and
+    ``funcref`` values become worker-reachability roots.
+    """
+
+    label: str  # "callable", "arg 2", "target=", "args[0]", ...
+    kind: str
+    detail: str  # qualname / lambda marker / short source text
+    line: int
+    col: int
+
+
+@dataclass(frozen=True)
+class BoundarySite:
+    """One call that ships values into another process.
+
+    ``kind``: ``pool-submit`` | ``pool-map`` | ``process`` |
+    ``pipe-send`` | ``cache-put`` | ``pool-init``.
+    """
+
+    kind: str
+    desc: str  # rendered call ("pool.submit", "ctx.Process", ...)
+    values: tuple[ShippedValue, ...]
+    line: int
+    col: int
+    in_function: str | None = None
 
 
 @dataclass
@@ -166,6 +281,17 @@ class FunctionSummary:
     returns_columns: tuple[str, ...] | None = None
     #: Return is the result of calling another function ("ref:<name>").
     returns_ref: str | None = None
+    #: Side effects observed in the body (effect-lattice join over all
+    #: statements; nested defs/lambdas fold into their encloser).
+    effects: tuple[EffectSite, ...] = ()
+    #: Params whose default is a mutable literal (dict/list/set).
+    mutable_default_params: tuple[str, ...] = ()
+    #: Params the body *calls* — higher-order edges: a funcref bound to
+    #: one of these at a call site becomes a callee of this function.
+    called_params: tuple[str, ...] = ()
+    #: The function can return a set/unordered value (REP203 follows
+    #: ``returns_ref`` chains through this).
+    returns_unordered: bool = False
 
 
 @dataclass
@@ -182,6 +308,10 @@ class ModuleSummary:
     functions: dict[str, FunctionSummary] = field(default_factory=dict)
     constructions: tuple[RngConstruction, ...] = ()
     calls: tuple[CallSite, ...] = ()
+    #: Process-boundary ship sites anywhere in the file.
+    boundaries: tuple[BoundarySite, ...] = ()
+    #: Effects of module-level statements (outside any function).
+    module_effects: tuple[EffectSite, ...] = ()
     parse_error: str | None = None
     parse_error_line: int = 1
 
@@ -233,6 +363,11 @@ class _Scope:
                 return self.env[node.id]
             if node.id in self.params:
                 return SymVal(kind="param", param=node.id)
+            if self.s.is_module_uset(node.id):
+                return SymVal(kind="uset")
+            qual = self.s.resolve_name_ref(node.id)
+            if qual is not None:
+                return SymVal(kind="funcref", ref=qual)
             return _OTHER
         if isinstance(node, ast.Constant):
             if isinstance(node.value, bool) or node.value is None:
@@ -240,6 +375,24 @@ class _Scope:
             if isinstance(node.value, (int, float)):
                 return SymVal(kind="rng", prov=LITERAL)
             return _OTHER
+        if isinstance(node, ast.Set):
+            for elt in node.elts:
+                self.eval(elt)
+            return SymVal(kind="uset")
+        if isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp, ast.DictComp)):
+            return self._eval_comprehension(node)
+        if isinstance(node, ast.Lambda):
+            # The body is evaluated in the enclosing scope so its calls
+            # join the call graph (conservative: a lambda built here is
+            # assumed to run here or downstream of here).
+            self.eval(node.body)
+            return SymVal(kind="localfn", ref="<lambda>")
+        if isinstance(node, ast.BinOp):
+            # Set arithmetic (difference/union/...) stays unordered.
+            left = self.eval(node.left)
+            right = self.eval(node.right)
+            if left.kind == "uset" or right.kind == "uset":
+                return SymVal(kind="uset")
         if isinstance(node, (ast.BinOp, ast.UnaryOp)):
             # Arithmetic over seeds is ad-hoc stream derivation unless
             # every operand is already unclassifiable.
@@ -271,6 +424,26 @@ class _Scope:
             return _OTHER
         if isinstance(node, ast.Call):
             return self._eval_call(node)
+        return _OTHER
+
+    def _eval_comprehension(self, node: ast.expr) -> SymVal:
+        """A comprehension's output order inherits its first iterable's."""
+        generators = node.generators  # type: ignore[attr-defined]
+        first = self.eval(generators[0].iter) if generators else _OTHER
+        for gen in generators[1:]:
+            self.eval(gen.iter)
+        if isinstance(node, ast.DictComp):
+            self.eval(node.key)
+            self.eval(node.value)
+        else:
+            self.eval(node.elt)  # type: ignore[attr-defined]
+        if isinstance(node, ast.SetComp):
+            return SymVal(kind="uset")
+        if first.kind in ("uset", "ref"):
+            # uset: the produced list/dict/stream is in set order;
+            # ref: defer to the graph (flags only if the callee provably
+            # returns a set).
+            return first
         return _OTHER
 
     def _entropy_arg(self, node: ast.Call) -> ast.expr | None:
@@ -315,6 +488,28 @@ class _Scope:
                 in_function=self.fn_name,
             )
             return SymVal(kind="rng", prov=prov)
+        builtin = self._eval_builtin(node, callee)
+        if builtin is not None:
+            return builtin
+        basename = callee.rsplit(".", 1)[-1] if callee else ""
+        if basename in ("ProcessPoolExecutor", "Pool"):
+            values = self._executor_init_values(node)
+            if values:
+                self.s.record_boundary("pool-init", basename, values, node)
+            return SymVal(kind="pool")
+        if callee == "multiprocessing.get_context":
+            return SymVal(kind="pool")  # its .Process/.Pipe ship values
+        if basename in ("DiskCache", "LintCache"):
+            for arg in node.args:
+                self.eval(arg)
+            return SymVal(kind="cache")
+        if basename == "Process" and any(
+            kw.arg == "target" for kw in node.keywords
+        ):
+            self.s.record_boundary(
+                "process", basename, self._process_values(node), node
+            )
+            return _OTHER
         # spawn()/attribute calls on seed material keep its provenance.
         if isinstance(node.func, ast.Attribute):
             recv = self.eval(node.func.value)
@@ -324,12 +519,152 @@ class _Scope:
                 node.func.attr in _TABLE_METHODS
             ):
                 return self._table_method(recv, node)
+            if recv.kind == "uset" and node.func.attr in _SET_METHODS:
+                return SymVal(kind="uset")
+            if node.func.attr == "join" and node.args:
+                self.s.note_unordered(
+                    self.eval(node.args[0]), node.args[0], sink="join"
+                )
+                return _OTHER
+            shipped = self._maybe_boundary(node, recv)
+            if shipped is not None:
+                return shipped
         if callee == "Table" or (callee or "").endswith(".Table"):
             return SymVal(kind="table", columns=_dict_literal_keys(node))
         if callee is not None:
             self.s.record_call(node, callee, self)
             return SymVal(kind="ref", ref=callee)
         return _OTHER
+
+    def _eval_builtin(self, node: ast.Call, callee: str | None) -> SymVal | None:
+        """Builtins the ordered-sink rule models; None = not one."""
+        if not isinstance(node.func, ast.Name) or callee != node.func.id:
+            return None
+        name = node.func.id
+        if name not in ("sorted", "set", "frozenset", "list", "tuple", "enumerate", "open"):
+            return None
+        vals = [self.eval(arg) for arg in node.args]
+        for kw in node.keywords:
+            self.eval(kw.value)
+        if name == "sorted":
+            return _OTHER  # the sanctioner: order is now defined
+        if name in ("set", "frozenset"):
+            return SymVal(kind="uset")
+        if name == "open":
+            return SymVal(kind="handle")
+        # list()/tuple()/enumerate(): an ordered artifact of its input.
+        if vals:
+            self.s.note_unordered(vals[0], node.args[0], sink=name)
+        return _OTHER
+
+    # -- process boundaries ----------------------------------------------
+
+    def _ship(self, expr: ast.expr, label: str) -> ShippedValue:
+        """Symbolic description of one value crossing a boundary."""
+        val = self.eval(expr)
+        kind = val.kind
+        if isinstance(expr, ast.Lambda):
+            kind = "lambda"
+        detail = val.ref or val.param or _src(expr)
+        return ShippedValue(
+            label=label,
+            kind=kind,
+            detail=detail,
+            line=expr.lineno,
+            col=expr.col_offset,
+        )
+
+    def _shipped_args(self, node: ast.Call, first_label: str) -> list[ShippedValue]:
+        values: list[ShippedValue] = []
+        for i, arg in enumerate(node.args):
+            label = first_label if i == 0 else f"arg {i}"
+            values.append(self._ship(arg, label))
+        for kw in node.keywords:
+            if kw.arg is not None:
+                values.append(self._ship(kw.value, f"{kw.arg}="))
+            else:
+                self.eval(kw.value)
+        return values
+
+    def _process_values(self, node: ast.Call) -> list[ShippedValue]:
+        """``Process(target=..., args=(...), kwargs=...)`` payloads."""
+        values: list[ShippedValue] = []
+        for arg in node.args:
+            values.append(self._ship(arg, "arg"))
+        for kw in node.keywords:
+            if kw.arg == "target":
+                values.append(self._ship(kw.value, "target="))
+            elif kw.arg in ("args", "initargs") and isinstance(
+                kw.value, ast.Tuple
+            ):
+                for i, elt in enumerate(kw.value.elts):
+                    values.append(self._ship(elt, f"{kw.arg}[{i}]"))
+            elif kw.arg is not None:
+                values.append(self._ship(kw.value, f"{kw.arg}="))
+            else:
+                self.eval(kw.value)
+        return values
+
+    def _executor_init_values(self, node: ast.Call) -> list[ShippedValue]:
+        """``initializer=``/``initargs=`` payloads of a pool constructor.
+
+        The initializer runs once per worker to set up process-local
+        state — a sanctioned pattern — so it is *not* a purity root,
+        but it still has to pickle.
+        """
+        values: list[ShippedValue] = []
+        for arg in node.args:
+            self.eval(arg)
+        for kw in node.keywords:
+            if kw.arg == "initializer":
+                values.append(self._ship(kw.value, "initializer="))
+            elif kw.arg == "initargs" and isinstance(kw.value, ast.Tuple):
+                for i, elt in enumerate(kw.value.elts):
+                    values.append(self._ship(elt, f"initargs[{i}]"))
+            else:
+                self.eval(kw.value)
+        return values
+
+    def _maybe_boundary(self, node: ast.Call, recv: SymVal) -> SymVal | None:
+        """Record a boundary site for pool/pipe/cache attribute calls."""
+        func = node.func
+        assert isinstance(func, ast.Attribute)
+        attr = func.attr
+        recv_name = func.value.id if isinstance(func.value, ast.Name) else None
+        desc = f"{recv_name or '<expr>'}.{attr}"
+        if attr in _POOL_SHIP and (
+            recv.kind == "pool" or recv_name in ("pool", "executor")
+        ):
+            kind = "pool-submit" if attr in ("submit", "apply_async") else "pool-map"
+            self.s.record_boundary(
+                kind, desc, self._shipped_args(node, "callable"), node
+            )
+            return _OTHER
+        if attr == "Process" and (
+            recv.kind == "pool" or recv_name in ("ctx", "mp", "multiprocessing")
+        ):
+            self.s.record_boundary(
+                "process", desc, self._process_values(node), node
+            )
+            return _OTHER
+        if (
+            attr == "send"
+            and recv_name is not None
+            and ("conn" in recv_name or "pipe" in recv_name)
+        ):
+            self.s.record_boundary(
+                "pipe-send", desc, self._shipped_args(node, "payload"), node
+            )
+            return _OTHER
+        if attr == "put" and (
+            recv.kind == "cache"
+            or (recv_name is not None and "cache" in recv_name)
+        ):
+            self.s.record_boundary(
+                "cache-put", desc, self._shipped_args(node, "key"), node
+            )
+            return _OTHER
+        return None
 
     def _table_method(self, recv: SymVal, node: ast.Call) -> SymVal:
         added = tuple(kw.arg for kw in node.keywords if kw.arg)
@@ -403,12 +738,27 @@ class _ModuleSummarizer:
         self.summary = ModuleSummary(module=module, relpath=relpath)
         self._constructions: list[RngConstruction] = []
         self._calls: list[CallSite] = []
+        self._boundaries: list[BoundarySite] = []
+        self._module_effects: list[EffectSite] = []
         self._local_funcs: set[str] = {
             n.name
             for n in tree.body
             if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))
         }
+        #: Module-level bindings a function body can mutate: assigned
+        #: names plus top-level functions (lru_cache memos) and classes.
+        self._module_names: frozenset[str] = frozenset(
+            self._local_funcs
+            | {n.name for n in tree.body if isinstance(n, ast.ClassDef)}
+            | _assigned_names(tree.body)
+        )
+        #: Module-level names bound to set/frozenset values, so function
+        #: bodies iterating them see an unordered collection.
+        self._module_usets: frozenset[str] = _module_set_bindings(tree.body)
         self._current: FunctionSummary | None = None
+        #: Innermost enclosing *top-level* function, for call-graph
+        #: attribution (nested defs/lambdas fold into their encloser).
+        self._top: str | None = None
 
     # -- callbacks from _Scope -------------------------------------------
 
@@ -421,6 +771,15 @@ class _ModuleSummarizer:
                 return f"{self.module}.{func.id}"
             return func.id
         return None
+
+    def resolve_name_ref(self, name: str) -> str | None:
+        """Qualname a bare name *used as a value* refers to, if any."""
+        if name in self._local_funcs and self.module:
+            return f"{self.module}.{name}"
+        return self.import_map.aliases.get(name)
+
+    def is_module_uset(self, name: str) -> bool:
+        return name in self._module_usets
 
     def graph_placeholder_rng(self, ref: str) -> str:
         # Call results are resolved against the graph later; locally
@@ -446,6 +805,46 @@ class _ModuleSummarizer:
     def record_construction(self, **kwargs: object) -> None:
         self._constructions.append(RngConstruction(**kwargs))
 
+    def record_effect(
+        self, kind: str, detail: str, line: int, col: int, sink: str = ""
+    ) -> None:
+        site = EffectSite(kind=kind, detail=detail, line=line, col=col, sink=sink)
+        fn = self._current
+        if fn is not None:
+            fn.effects = (*fn.effects, site)
+        else:
+            self._module_effects.append(site)
+
+    def note_unordered(self, val: SymVal, expr: ast.expr, sink: str) -> None:
+        """An unordered value reached an ordered sink (or might, via a
+        call result the graph resolves later)."""
+        if val.kind == "uset":
+            self.record_effect(
+                UNORDERED_ITER, _src(expr), expr.lineno, expr.col_offset, sink
+            )
+        elif val.kind == "ref" and val.ref:
+            self.record_effect(
+                UNORDERED_ITER_REF, val.ref, expr.lineno, expr.col_offset, sink
+            )
+
+    def record_boundary(
+        self,
+        kind: str,
+        desc: str,
+        values: list[ShippedValue],
+        node: ast.Call,
+    ) -> None:
+        self._boundaries.append(
+            BoundarySite(
+                kind=kind,
+                desc=desc,
+                values=tuple(values),
+                line=node.lineno,
+                col=node.col_offset,
+                in_function=self._top,
+            )
+        )
+
     def record_call(self, node: ast.Call, callee: str, scope: _Scope) -> None:
         args = tuple(scope.eval(a) for a in node.args)
         kwargs = tuple(
@@ -460,6 +859,7 @@ class _ModuleSummarizer:
                 col=node.col_offset,
                 args=args,
                 kwargs=kwargs,
+                in_function=self._top,
             )
         )
         # Params forwarded into another call may be entropy params of
@@ -504,6 +904,8 @@ class _ModuleSummarizer:
 
         summary.constructions = tuple(self._constructions)
         summary.calls = tuple(self._calls)
+        summary.boundaries = tuple(self._boundaries)
+        summary.module_effects = tuple(self._module_effects)
         return summary
 
     def _walk_body(
@@ -515,8 +917,14 @@ class _ModuleSummarizer:
     ) -> None:
         for stmt in body:
             if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if depth > 0:
+                    # A nested def is a local value: unpicklable if it
+                    # ever crosses a process boundary.
+                    scope.env[stmt.name] = SymVal(kind="localfn", ref=stmt.name)
                 self._function(stmt, qual_prefix, top_level=depth == 0)
             elif isinstance(stmt, ast.ClassDef):
+                if depth > 0:
+                    scope.env[stmt.name] = SymVal(kind="localcls", ref=stmt.name)
                 for sub in stmt.body:
                     if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef)):
                         self._function(sub, None, top_level=False)
@@ -527,12 +935,35 @@ class _ModuleSummarizer:
         if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
             # Conditionally-defined function (inside if/try): summarize
             # it in its own scope, never in the enclosing environment.
+            # Inside a function it is additionally a local (unpicklable)
+            # value; at module level its qualname still pickles.
+            if scope.fn_name is not None:
+                scope.env[stmt.name] = SymVal(kind="localfn", ref=stmt.name)
             self._function(stmt, None, top_level=False)
             return
         if isinstance(stmt, ast.ClassDef):
+            if scope.fn_name is not None:
+                scope.env[stmt.name] = SymVal(kind="localcls", ref=stmt.name)
             for sub in stmt.body:
                 if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef)):
                     self._function(sub, None, top_level=False)
+            return
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                val = scope.eval(item.context_expr)
+                if item.optional_vars is not None:
+                    scope.assign(item.optional_vars, val)
+            for sub in stmt.body:
+                self._statement(sub, scope)
+            return
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            iter_val = scope.eval(stmt.iter)
+            if iter_val.kind in ("uset", "ref") and _ordered_loop_body(stmt.body):
+                self.note_unordered(iter_val, stmt.iter, sink="for-loop")
+            if isinstance(stmt.target, ast.Name):
+                scope.env[stmt.target.id] = _OTHER
+            for sub in (*stmt.body, *stmt.orelse):
+                self._statement(sub, scope)
             return
         if isinstance(stmt, ast.Assign):
             value = scope.eval(stmt.value)
@@ -571,6 +1002,8 @@ class _ModuleSummarizer:
         elif value.kind == "ref":
             fn.rng_return = _join_rng_return(fn.rng_return, f"ref:{value.ref}")
             fn.returns_ref = value.ref
+        elif value.kind == "uset":
+            fn.returns_unordered = True
         if value.kind == "table" and value.columns is not None:
             merged = dict.fromkeys((*(fn.returns_columns or ()), *value.columns))
             fn.returns_columns = tuple(merged)
@@ -609,13 +1042,25 @@ class _ModuleSummarizer:
             entropy_params=entropy,
         )
         outer = self._current
+        outer_top = self._top
         self._current = fn
+        if top_level:
+            self._top = node.name
         scope = _Scope(self, params=params, fn_name=node.name)
         self._collect_param_accesses(node, fn)
+        if top_level:
+            # Effects walk the full subtree, so nested defs' writes
+            # fold into their (top-level) encloser conservatively.
+            self._collect_effects(node, fn)
         self._walk_body(node.body, scope, qual_prefix=None, depth=1)
         self._current = outer
+        self._top = outer_top
         if top_level and self.module is not None:
             self.summary.functions[node.name] = fn
+        elif outer is not None:
+            # Scope-recorded effects (unordered-iter consumption) of a
+            # nested def surface on the enclosing function.
+            outer.effects = (*outer.effects, *fn.effects)
 
     def _collect_param_accesses(
         self, node: ast.FunctionDef | ast.AsyncFunctionDef, fn: FunctionSummary
@@ -655,6 +1100,248 @@ class _ModuleSummarizer:
         fn.table_params = tuple(
             dict.fromkeys((*fn.annotated_table_params, *table_like))
         )
+
+    def _collect_effects(
+        self, node: ast.FunctionDef | ast.AsyncFunctionDef, fn: FunctionSummary
+    ) -> None:
+        """Syntactic effect sites of one top-level function's subtree."""
+        args = node.args
+        positional = (*args.posonlyargs, *args.args)
+        mutable: list[str] = []
+        for arg_node, default in zip(
+            positional[len(positional) - len(args.defaults) :], args.defaults
+        ):
+            if _is_mutable_literal(default):
+                mutable.append(arg_node.arg)
+        for arg_node, default in zip(args.kwonlyargs, args.kw_defaults):
+            if default is not None and _is_mutable_literal(default):
+                mutable.append(arg_node.arg)
+        fn.mutable_default_params = tuple(mutable)
+
+        global_names: set[str] = set()
+        stored: set[str] = set()
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Global):
+                global_names.update(sub.names)
+            elif isinstance(sub, ast.Name) and isinstance(
+                sub.ctx, (ast.Store, ast.Del)
+            ):
+                stored.add(sub.id)
+        shadowed = (stored | set(fn.params)) - global_names
+
+        effects: list[EffectSite] = []
+        called_params: set[str] = set()
+        mutable_set = set(mutable)
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Name) and isinstance(
+                sub.ctx, (ast.Store, ast.Del)
+            ):
+                if sub.id in global_names:
+                    effects.append(
+                        EffectSite(
+                            GLOBAL_WRITE, sub.id, sub.lineno, sub.col_offset
+                        )
+                    )
+            elif isinstance(sub, (ast.Subscript, ast.Attribute)) and isinstance(
+                sub.ctx, (ast.Store, ast.Del)
+            ):
+                if self.import_map.resolve(sub.value) == "os.environ":
+                    effects.append(
+                        EffectSite(
+                            ENV_EFFECT, "os.environ", sub.lineno, sub.col_offset
+                        )
+                    )
+                    continue
+                base = _base_name(sub.value)
+                if base is None:
+                    continue
+                if base in mutable_set:
+                    effects.append(
+                        EffectSite(
+                            DEFAULT_MUTATION, base, sub.lineno, sub.col_offset
+                        )
+                    )
+                elif base in self._module_names and base not in shadowed:
+                    effects.append(
+                        EffectSite(
+                            GLOBAL_WRITE, base, sub.lineno, sub.col_offset
+                        )
+                    )
+            elif isinstance(sub, ast.Call):
+                func = sub.func
+                if isinstance(func, ast.Name) and func.id in fn.params:
+                    called_params.add(func.id)
+                if isinstance(func, ast.Attribute) and func.attr in _MUTATORS:
+                    base = _base_name(func.value)
+                    if base is not None:
+                        if base in mutable_set:
+                            effects.append(
+                                EffectSite(
+                                    DEFAULT_MUTATION,
+                                    base,
+                                    sub.lineno,
+                                    sub.col_offset,
+                                )
+                            )
+                        elif base in self._module_names and base not in shadowed:
+                            effects.append(
+                                EffectSite(
+                                    GLOBAL_WRITE,
+                                    base,
+                                    sub.lineno,
+                                    sub.col_offset,
+                                )
+                            )
+                callee = self.resolve_callee(func)
+                kind = _callee_effect(callee, sub)
+                if kind is not None:
+                    detail = callee or (
+                        func.attr if isinstance(func, ast.Attribute) else ""
+                    )
+                    effects.append(
+                        EffectSite(kind, detail, sub.lineno, sub.col_offset)
+                    )
+        fn.effects = (*fn.effects, *effects)
+        fn.called_params = tuple(sorted(called_params))
+
+
+def _assigned_names(body: list[ast.stmt]) -> set[str]:
+    """Names bound by module-level assignment statements."""
+    names: set[str] = set()
+    for stmt in body:
+        targets: list[ast.expr] = []
+        if isinstance(stmt, ast.Assign):
+            targets = stmt.targets
+        elif isinstance(stmt, (ast.AnnAssign, ast.AugAssign)):
+            targets = [stmt.target]
+        for target in targets:
+            if isinstance(target, ast.Name):
+                names.add(target.id)
+            elif isinstance(target, ast.Tuple):
+                names.update(
+                    elt.id for elt in target.elts if isinstance(elt, ast.Name)
+                )
+    return names
+
+
+def _module_set_bindings(body: list[ast.stmt]) -> frozenset[str]:
+    """Module-level names assigned set/frozenset literals or calls."""
+    names: set[str] = set()
+    for stmt in body:
+        if not isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+            continue
+        value = stmt.value
+        if value is None:
+            continue
+        is_set = isinstance(value, (ast.Set, ast.SetComp)) or (
+            isinstance(value, ast.Call)
+            and isinstance(value.func, ast.Name)
+            and value.func.id in ("set", "frozenset")
+        )
+        if not is_set:
+            continue
+        targets = stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
+        for target in targets:
+            if isinstance(target, ast.Name):
+                names.add(target.id)
+    return frozenset(names)
+
+
+def _src(expr: ast.expr) -> str:
+    """Short source rendering of an expression, for messages."""
+    try:
+        text = ast.unparse(expr)
+    except Exception:  # pragma: no cover - unparse is total on 3.9+
+        return "<expr>"
+    return text if len(text) <= 48 else text[:45] + "..."
+
+
+def _is_mutable_literal(node: ast.expr) -> bool:
+    if isinstance(
+        node, (ast.Dict, ast.List, ast.Set, ast.DictComp, ast.ListComp, ast.SetComp)
+    ):
+        return True
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in ("dict", "list", "set", "defaultdict", "deque")
+    )
+
+
+def _base_name(node: ast.expr) -> str | None:
+    """Innermost Name of a Subscript/Attribute chain (``a`` of ``a.b[c]``)."""
+    while isinstance(node, (ast.Subscript, ast.Attribute)):
+        node = node.value
+    return node.id if isinstance(node, ast.Name) else None
+
+
+def _ordered_loop_body(body: list[ast.stmt]) -> bool:
+    """Does the loop body produce order-sensitive output?
+
+    Appends/writes/prints/yields make iteration order observable; pure
+    accumulation (sums, max, membership) does not.
+    """
+    for stmt in body:
+        for sub in ast.walk(stmt):
+            if isinstance(sub, (ast.Yield, ast.YieldFrom)):
+                return True
+            if isinstance(sub, ast.Call):
+                func = sub.func
+                if isinstance(func, ast.Name) and func.id == "print":
+                    return True
+                if isinstance(func, ast.Attribute) and func.attr in (
+                    "append",
+                    "extend",
+                    "insert",
+                    "write",
+                    "writelines",
+                    "add_row",
+                ):
+                    return True
+    return False
+
+
+_ENV_CALLS = frozenset({"os.putenv", "os.unsetenv", "os.environ.update"})
+_FS_CALLS = frozenset(
+    {
+        "os.remove",
+        "os.unlink",
+        "os.rename",
+        "os.replace",
+        "os.makedirs",
+        "os.mkdir",
+        "os.rmdir",
+    }
+)
+_FS_ATTRS = frozenset(
+    {"write_text", "write_bytes", "unlink", "mkdir", "rmdir", "touch"}
+)
+_PROC_CALLS = frozenset({"os.system", "os.fork", "os.kill", "os.execv"})
+
+
+def _callee_effect(callee: str | None, node: ast.Call) -> str | None:
+    """Env/fs/process effect of a call, by callee name (never reported
+    on their own; they complete the lattice for propagation/tests)."""
+    if callee in _ENV_CALLS:
+        return ENV_EFFECT
+    if callee in _PROC_CALLS or (callee or "").startswith("subprocess."):
+        return PROC_EFFECT
+    if callee in _FS_CALLS:
+        return FS_EFFECT
+    if callee == "open":
+        mode = None
+        if len(node.args) >= 2 and isinstance(node.args[1], ast.Constant):
+            mode = node.args[1].value
+        for kw in node.keywords:
+            if kw.arg == "mode" and isinstance(kw.value, ast.Constant):
+                mode = kw.value.value
+        if isinstance(mode, str) and any(c in mode for c in "wax+"):
+            return FS_EFFECT
+        return None
+    func = node.func
+    if isinstance(func, ast.Attribute) and func.attr in _FS_ATTRS:
+        return FS_EFFECT
+    return None
 
 
 def _join_rng_return(current: str | None, new: str) -> str:
@@ -723,6 +1410,10 @@ class ProjectGraph:
                 self.functions[fn.qualname] = fn
         self._closure_cache: dict[str, frozenset[str]] = {}
         self._resolve_cache: dict[str, str | None] = {}
+        self._edges: dict[str, tuple[str, ...]] | None = None
+        self._reach_cache: dict[
+            tuple[str, ...], dict[str, tuple[str, str]]
+        ] = {}
         self._close_entropy_params()
         self._schemas = self._infer_schemas()
 
@@ -954,6 +1645,129 @@ class ProjectGraph:
             if key[0].startswith(prefix)
             and "." not in key[0][len(prefix):]
         }
+
+    # -- effect dataflow ---------------------------------------------------
+
+    def _call_edges(self) -> dict[str, tuple[str, ...]]:
+        """Caller qualname -> sorted callee qualnames, with higher-order
+        edges: when ``f`` passes function ``g`` into a param that
+        ``target`` calls, ``target -> g`` is an edge too."""
+        if self._edges is not None:
+            return self._edges
+        edges: dict[str, set[str]] = {}
+        for module in sorted(self.modules):
+            summary = self.modules[module]
+            for call in summary.calls:
+                target = self.resolve_function(call.callee)
+                if target is None:
+                    continue
+                if call.in_function is not None:
+                    caller = f"{module}.{call.in_function}"
+                    if caller in self.functions:
+                        edges.setdefault(caller, set()).add(target.qualname)
+                if target.called_params:
+                    bound = self._bind(call, target)
+                    for param in target.called_params:
+                        val = bound.get(param)
+                        if val is None or val.kind != "funcref":
+                            continue
+                        hof = self.resolve_function(val.ref)
+                        if hof is not None:
+                            edges.setdefault(target.qualname, set()).add(
+                                hof.qualname
+                            )
+        self._edges = {
+            caller: tuple(sorted(callees))
+            for caller, callees in edges.items()
+        }
+        return self._edges
+
+    def worker_roots(
+        self, extra_roots: tuple[str, ...] = ()
+    ) -> list[tuple[str, str]]:
+        """(qualname, where-shipped) for every function shipped across a
+        process boundary, plus configured extras."""
+        roots: list[tuple[str, str]] = []
+        for module in sorted(self.modules):
+            summary = self.modules[module]
+            for site in summary.boundaries:
+                if site.kind not in ("pool-submit", "pool-map", "process"):
+                    continue
+                for val in site.values:
+                    if val.kind != "funcref":
+                        continue
+                    target = self.resolve_function(val.detail)
+                    if target is not None:
+                        roots.append(
+                            (
+                                target.qualname,
+                                f"{summary.relpath}:{site.line}",
+                            )
+                        )
+        for name in extra_roots:
+            target = self.resolve_function(name)
+            if target is not None:
+                roots.append((target.qualname, "configured worker root"))
+        return sorted(set(roots))
+
+    def worker_reachability(
+        self, extra_roots: tuple[str, ...] = ()
+    ) -> dict[str, tuple[str, str]]:
+        """qualname -> (root qualname, shipped-at/caller description) for
+        every function reachable from a worker entry point.
+
+        Deterministic: roots and edges are visited in sorted order and
+        the first (lexicographically smallest) path wins.
+        """
+        key = tuple(sorted(extra_roots))
+        cached = self._reach_cache.get(key)
+        if cached is not None:
+            return cached
+        edges = self._call_edges()
+        reach: dict[str, tuple[str, str]] = {}
+        queue: list[str] = []
+        for qualname, where in self.worker_roots(key):
+            if qualname not in reach:
+                reach[qualname] = (qualname, where)
+                queue.append(qualname)
+        while queue:
+            caller = queue.pop(0)
+            root, _ = reach[caller]
+            for callee in edges.get(caller, ()):
+                if callee not in reach:
+                    reach[callee] = (root, f"called from {caller}")
+                    queue.append(callee)
+        self._reach_cache[key] = reach
+        return reach
+
+    def returns_unordered(self, qualname: str | None, depth: int = 0) -> bool:
+        """Does the function (transitively) return a set-like value?"""
+        target = self.resolve_function(qualname)
+        if target is None:
+            return False
+        if target.returns_unordered:
+            return True
+        if target.returns_ref is not None and depth < 8:
+            return self.returns_unordered(target.returns_ref, depth + 1)
+        return False
+
+    def effect_facts_for_module(
+        self, module: str, extra_roots: tuple[str, ...] = ()
+    ) -> tuple[tuple[str, str, str], ...]:
+        """Worker-reachability verdicts for ``module``'s own functions —
+        the against-import-direction fact set REP103 diagnostics depend
+        on (a caller edit elsewhere can make a function here reachable),
+        folded into the incremental cache key."""
+        prefix = module + "."
+        reach = self.worker_reachability(extra_roots)
+        return tuple(
+            sorted(
+                (qualname, root, via)
+                for qualname, (root, via) in reach.items()
+                if qualname.startswith(prefix)
+                and "." not in qualname[len(prefix):]
+            )
+        )
 
 
 def build_project_graph(

@@ -27,6 +27,8 @@ class Rule:
     id: str  # "REP101"
     name: str  # "rng-discipline"
     summary: str  # one-line description for --list-rules
+    doc: str = ""  # longer prose for --explain (checker __doc__ fallback)
+    example: str = ""  # minimal flagged snippet for --explain
 
 
 class Checker(Protocol):

@@ -104,6 +104,15 @@ def _canonical(obj: object) -> object:
         }
     if isinstance(obj, (list, tuple)):
         return [_canonical(v) for v in obj]
+    if isinstance(obj, (set, frozenset)):
+        # Canonicalize element-first, then sort the renderings: set
+        # iteration order is per-process (hash randomization) and must
+        # never reach key material.
+        return {
+            "__set__": sorted(
+                (_canonical(v) for v in obj), key=lambda c: repr(c)
+            )
+        }
     if isinstance(obj, np.ndarray):
         digest = hashlib.sha256(np.ascontiguousarray(obj).tobytes())
         return {

@@ -431,6 +431,63 @@ def _bench_reprolint(log: Callable[[str], None]) -> list[dict[str, object]]:
     return entries
 
 
+def _bench_reprolint_effects(
+    log: Callable[[str], None],
+) -> list[dict[str, object]]:
+    """Cold/warm lint restricted to the parallel-safety effect rules.
+
+    Isolates what the effect fixpoint (worker reachability, boundary
+    sites, ordered-sink flow) costs on top of parsing, and proves the
+    filtered config keys its own warm cache (files_analyzed == 0 on
+    the second run).
+    """
+    root = _lint_root()
+    if root is None:
+        log("  reprolint_effects: no source tree found, skipped")
+        return []
+    import shutil
+    import tempfile
+
+    from ..analysis.engine import lint_paths  # reprolint: disable=REP301
+
+    effect_rules = ("REP103", "REP203", "REP303")
+    cache_dir = Path(tempfile.mkdtemp(prefix="reprolint-effects-bench-"))
+    try:
+        run, cold_wall, cold_cpu = _timed(
+            lambda: lint_paths(
+                [root / "src"], root=root, cache_dir=cache_dir,
+                select=effect_rules,
+            ),
+            max_repeats=1,
+        )
+        warm_run, warm_wall, warm_cpu = _timed(
+            lambda: lint_paths(
+                [root / "src"], root=root, cache_dir=cache_dir,
+                select=effect_rules,
+            ),
+            max_repeats=1,
+        )
+    finally:
+        shutil.rmtree(cache_dir, ignore_errors=True)
+    entries = [
+        _entry(
+            "reprolint_effects_cold", "repo", cold_wall, cold_cpu,
+            tasks=run.files_checked,
+        ),
+        _entry(
+            "reprolint_effects_warm", "repo", warm_wall, warm_cpu,
+            tasks=warm_run.files_checked,
+            scalar_wall_s=cold_wall,
+        ),
+    ]
+    log(
+        f"  reprolint_effects [repo] cold={cold_wall:.2f}s "
+        f"warm={warm_wall:.2f}s files={run.files_checked} "
+        f"warm_analyzed={warm_run.files_analyzed}"
+    )
+    return entries
+
+
 def _bench_experiments(
     scale: str, seed: int, log: Callable[[str], None]
 ) -> list[dict[str, object]]:
@@ -478,6 +535,7 @@ def run_benchmarks(
         if experiments and scale in SCALES:
             entries.extend(_bench_experiments(scale, seed, log))
     entries.extend(_bench_reprolint(log))
+    entries.extend(_bench_reprolint_effects(log))
     return entries
 
 
