@@ -286,8 +286,13 @@ def _bench_event_drain(scale: str, seed: int) -> dict[str, object]:
     )
 
     def run(batched: bool):
+        # Pinned to the scalar engine: this entry tracks the batched
+        # pop_batch drain against the one-event-at-a-time scalar loop,
+        # not the SoA engine (that comparison is ``sim_drain``).
         sim = ClusterSimulator(machines, SimConfig(), seed=seed + 2)
-        return sim.run(requests, horizon, batched_drain=batched)
+        return sim.run(
+            requests, horizon, batched_drain=batched, engine="scalar"
+        )
 
     _, wall, cpu = _timed(lambda: run(True))
     _, scalar_wall, _ = _timed(lambda: run(False))
@@ -297,6 +302,44 @@ def _bench_event_drain(scale: str, seed: int) -> dict[str, object]:
         wall,
         cpu,
         tasks=len(requests),
+        scalar_wall_s=scalar_wall,
+    )
+
+
+def _bench_sim_drain(scale: str, seed: int) -> dict[str, object]:
+    """SoA engine (compiled hot loop when available) vs scalar golden.
+
+    Same workloads as ``event_drain``; the speedup column is the whole
+    point — the 0.8x retention gate on it keeps the fast engine fast.
+    """
+    n_machines, horizon, tasks_per_hour = _DRAIN_SIMS[scale]
+    rng = np.random.default_rng(seed)
+    machines = generate_machines(n_machines, rng)
+    requests = generate_task_requests(
+        horizon,
+        seed=seed + 1,
+        config=GoogleConfig(busy_window=None),
+        tasks_per_hour=tasks_per_hour,
+    )
+
+    def run(engine: str):
+        sim = ClusterSimulator(machines, SimConfig(), seed=seed + 2)
+        return sim.run(requests, horizon, engine=engine)
+
+    result, wall, cpu = _timed(lambda: run("soa"))
+    scalar_wall = None
+    if scale not in _SCALAR_SKIP_SCALES:
+        scalar_result, scalar_wall, _ = _timed(lambda: run("scalar"))
+        if scalar_result.task_events != result.task_events:
+            raise AssertionError(
+                "sim_drain: SoA engine diverged from scalar golden run"
+            )
+    return _entry(
+        "sim_drain",
+        scale,
+        wall,
+        cpu,
+        tasks=int(result.counts["scheduled"]),
         scalar_wall_s=scalar_wall,
     )
 
@@ -504,38 +547,67 @@ def run_benchmarks(
     seed: int = 0,
     *,
     experiments: bool = True,
+    only: Sequence[str] | None = None,
     log: Callable[[str], None] = lambda _msg: None,
 ) -> list[dict[str, object]]:
-    """All benchmark entries for the requested scales, in order."""
+    """All benchmark entries for the requested scales, in order.
+
+    ``only`` restricts the run to the named benchmark families (entry
+    ``name`` values) — e.g. ``only=("sim_drain",)`` adds the paper
+    scale for the simulator without dragging in the 25M-task pipeline
+    benchmarks. None (the default) runs everything.
+    """
+
+    def want(name: str) -> bool:
+        return only is None or name in only
+
     entries: list[dict[str, object]] = []
     for scale in scales:
         if scale not in _KERNEL_GRIDS:
             raise KeyError(
                 f"unknown scale {scale!r}; available: {sorted(_KERNEL_GRIDS)}"
             )
-        entry, shared = _bench_series_extraction(scale, seed)
-        entries.append(entry)
-        log(f"  series_extraction [{scale}] {entry['wall_s']}s "
-            f"speedup={entry['speedup']}")
-        entry = _bench_run_length(scale, seed, shared["series"])
-        entries.append(entry)
-        log(f"  run_length_segmentation [{scale}] {entry['wall_s']}s "
-            f"speedup={entry['speedup']}")
-        entries.append(_bench_mass_count(scale, seed, shared["series"]))
-        del shared
-        entry = _bench_event_drain(scale, seed)
-        entries.append(entry)
-        log(f"  event_drain [{scale}] {entry['wall_s']}s "
-            f"speedup={entry['speedup']}")
-        entries.append(_bench_chunked_generation(scale, seed))
-        entry = _bench_hostload_pipeline(scale, seed)
-        entries.append(entry)
-        log(f"  hostload_pipeline [{scale}] {entry['wall_s']}s "
-            f"tasks={entry['tasks_per_s']}/s rss={entry['peak_rss_kb']}kB")
-        if experiments and scale in SCALES:
+        kernel_family = (
+            "series_extraction",
+            "run_length_segmentation",
+            "mass_count_accumulation",
+        )
+        if any(want(name) for name in kernel_family):
+            entry, shared = _bench_series_extraction(scale, seed)
+            if want("series_extraction"):
+                entries.append(entry)
+                log(f"  series_extraction [{scale}] {entry['wall_s']}s "
+                    f"speedup={entry['speedup']}")
+            if want("run_length_segmentation"):
+                entry = _bench_run_length(scale, seed, shared["series"])
+                entries.append(entry)
+                log(f"  run_length_segmentation [{scale}] {entry['wall_s']}s "
+                    f"speedup={entry['speedup']}")
+            if want("mass_count_accumulation"):
+                entries.append(_bench_mass_count(scale, seed, shared["series"]))
+            del shared
+        if want("event_drain"):
+            entry = _bench_event_drain(scale, seed)
+            entries.append(entry)
+            log(f"  event_drain [{scale}] {entry['wall_s']}s "
+                f"speedup={entry['speedup']}")
+        if want("sim_drain"):
+            entry = _bench_sim_drain(scale, seed)
+            entries.append(entry)
+            log(f"  sim_drain [{scale}] {entry['wall_s']}s "
+                f"tasks={entry['tasks_per_s']}/s speedup={entry['speedup']}")
+        if want("chunked_generation"):
+            entries.append(_bench_chunked_generation(scale, seed))
+        if want("hostload_pipeline"):
+            entry = _bench_hostload_pipeline(scale, seed)
+            entries.append(entry)
+            log(f"  hostload_pipeline [{scale}] {entry['wall_s']}s "
+                f"tasks={entry['tasks_per_s']}/s rss={entry['peak_rss_kb']}kB")
+        if experiments and scale in SCALES and only is None:
             entries.extend(_bench_experiments(scale, seed, log))
-    entries.extend(_bench_reprolint(log))
-    entries.extend(_bench_reprolint_effects(log))
+    if only is None:
+        entries.extend(_bench_reprolint(log))
+        entries.extend(_bench_reprolint_effects(log))
     return entries
 
 
@@ -647,6 +719,16 @@ def _parser() -> argparse.ArgumentParser:
         help="benchmark only the kernels, not the registered experiments",
     )
     parser.add_argument(
+        "--only",
+        action="append",
+        metavar="NAME",
+        default=None,
+        help=(
+            "run only the named benchmark families (repeatable), e.g. "
+            "--only sim_drain; skips experiments and lint benchmarks"
+        ),
+    )
+    parser.add_argument(
         "--no-write",
         action="store_true",
         help="run and diff without writing a new snapshot",
@@ -664,7 +746,11 @@ def main(argv: Sequence[str] | None = None) -> int:
 
     log(f"repro-bench: scales={scales} seed={args.seed}")
     entries = run_benchmarks(
-        scales, args.seed, experiments=not args.skip_experiments, log=log
+        scales,
+        args.seed,
+        experiments=not args.skip_experiments,
+        only=args.only,
+        log=log,
     )
     snapshot = {
         "version": 1,

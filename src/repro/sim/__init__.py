@@ -1,9 +1,9 @@
 """Event-driven cluster simulator (the paper's Section II model)."""
 
 from .churn import ChurnModel, MachineOutage, sample_outages
-from .cluster import ClusterSimulator, SimConfig, SimResult
+from .cluster import ENGINES, ClusterSimulator, SimConfig, SimResult
 from .constraints import Constraint, ConstraintModel, generate_attribute_matrix
-from .engine import EventQueue
+from .engine import CalendarQueue, EventQueue
 from .failures import FailureModel
 from .job import jobs_from_events
 from .machine import FleetState
@@ -13,15 +13,23 @@ from .monitor import (
     MonitorConfig,
     UsageMonitor,
 )
-from .scheduler import PLACEMENT_POLICIES, PendingQueue, choose_machine
-from .task import SimTask
+from .scheduler import (
+    PLACEMENT_POLICIES,
+    PendingQueue,
+    choose_machine,
+    choose_machine_columns,
+)
+from .soa import run_soa
+from .task import SimTask, TaskColumns
 
 __all__ = [
     "CLUSTER_SERIES_SCHEMA",
+    "CalendarQueue",
     "ChurnModel",
     "ClusterSimulator",
     "Constraint",
     "ConstraintModel",
+    "ENGINES",
     "EventQueue",
     "FailureModel",
     "FleetState",
@@ -33,9 +41,12 @@ __all__ = [
     "SimConfig",
     "SimResult",
     "SimTask",
+    "TaskColumns",
     "UsageMonitor",
     "choose_machine",
+    "choose_machine_columns",
     "generate_attribute_matrix",
     "jobs_from_events",
+    "run_soa",
     "sample_outages",
 ]

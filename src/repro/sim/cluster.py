@@ -24,16 +24,31 @@ from ..traces.schema import TASK_EVENT_SCHEMA, TaskEvent, TaskState, priority_ba
 from ..core.table import Table
 from .churn import ChurnModel, sample_outages
 from .constraints import ConstraintModel
-from .engine import EventQueue
+from .engine import COMPLETE, MACHINE_DOWN, MACHINE_UP, TICK, EventQueue
 from .failures import FailureModel
 from .machine import FleetState
 from .monitor import MonitorConfig, UsageMonitor
 from .scheduler import PLACEMENT_POLICIES, PendingQueue, choose_machine
 from .task import SimTask
 
-__all__ = ["SimConfig", "SimResult", "ClusterSimulator"]
+__all__ = ["SimConfig", "SimResult", "ClusterSimulator", "ENGINES"]
 
-_ARRIVAL, _COMPLETE, _TICK, _MACHINE_DOWN, _MACHINE_UP = 0, 1, 2, 3, 4
+_COMPLETE, _TICK, _MACHINE_DOWN, _MACHINE_UP = (
+    COMPLETE,
+    TICK,
+    MACHINE_DOWN,
+    MACHINE_UP,
+)
+
+#: Engines accepted by :meth:`ClusterSimulator.run`. ``auto`` picks the
+#: fast SoA engine whenever its inlined failure-model draws are valid —
+#: i.e. ``config.failures`` is exactly :class:`FailureModel`, not a
+#: subclass with overridden draw logic — and the scalar golden
+#: reference otherwise. ``soa`` itself delegates to the compiled C hot
+#: loop (:mod:`repro.sim._ckernel`) when a compiler is available and
+#: the config is covered; ``soa-py`` forces the pure-Python SoA loop
+#: (used by the golden-equivalence tests to pin all three paths).
+ENGINES = ("auto", "soa", "soa-py", "scalar")
 
 
 @dataclass(frozen=True)
@@ -112,8 +127,21 @@ class ClusterSimulator:
         horizon: float,
         *,
         batched_drain: bool = True,
+        engine: str = "auto",
     ) -> SimResult:
         """Simulate ``[0, horizon]`` seconds of the request stream.
+
+        ``engine`` selects the implementation: ``"scalar"`` is the
+        original per-object golden reference below, ``"soa"`` the
+        structure-of-arrays fast engine
+        (:func:`~repro.sim.soa.run_soa`, which itself uses the compiled
+        C hot loop when available), ``"soa-py"`` the SoA engine with
+        the compiled kernel disabled, and ``"auto"`` (default) picks
+        the SoA engine whenever the config is compatible (the failure
+        model is exactly :class:`FailureModel`, whose draws the fast
+        engine inlines). All engines produce byte-identical results —
+        same tables, counts, and final RNG state — which the
+        golden-equivalence suite enforces.
 
         ``batched_drain=True`` (the default) pops all events sharing a
         timestamp in one :meth:`~repro.sim.engine.EventQueue.pop_batch`
@@ -121,9 +149,23 @@ class ClusterSimulator:
         decisions are byte-identical either way (the golden equivalence
         test runs both): events pushed while a batch is processed carry
         later ``(time, seq)`` keys, so processing order is unchanged.
+        The flag only concerns the scalar engine; the SoA engine always
+        drains in batches.
         """
         if horizon <= 0:
             raise ValueError("horizon must be positive")
+        if engine not in ENGINES:
+            raise ValueError(f"engine must be one of {ENGINES}, got {engine!r}")
+        if engine == "auto":
+            engine = (
+                "soa" if type(self.config.failures) is FailureModel else "scalar"
+            )
+        if engine in ("soa", "soa-py"):
+            from .soa import run_soa
+
+            return run_soa(
+                self, requests, horizon, allow_kernel=engine == "soa"
+            )
         fleet = FleetState(self.machines)
         monitor = UsageMonitor(fleet, self.config.monitor, self.rng)
         pending = PendingQueue()
@@ -313,6 +355,15 @@ class ClusterSimulator:
                     # Either way resources were freed: admit pending work.
                     drain_pending(time)
 
+        # Horizon-edge accounting: tasks still running (their completion
+        # would land past the horizon, so no _COMPLETE event was queued)
+        # or still pending at the end of the run appear in no terminal
+        # counter — count them explicitly so
+        # submitted == finish+fail+kill+evict+lost + still_running +
+        # still_pending holds for every config.
+        counts["still_running"] = int(fleet.n_running.sum())
+        counts["still_pending"] = len(pending)
+
         task_events = Table(
             {
                 "time": np.asarray(log_time),
@@ -345,9 +396,12 @@ class ClusterSimulator:
 
         Scans machines in descending free-CPU order so the cheapest
         eviction (fewest victims) is found early; returns (-1, []) when
-        preemption cannot help.
+        preemption cannot help. The stable sort makes the visit order —
+        and therefore the victim set under relative-free-CPU ties —
+        deterministic across NumPy versions (default quicksort leaves
+        tied machines in partition-internal order).
         """
-        order = np.argsort(-(fleet.free_cpu / fleet.cpu_capacity))
+        order = np.argsort(-(fleet.free_cpu / fleet.cpu_capacity), kind="stable")
         for m in order:
             if not fleet.available[int(m)]:
                 continue

@@ -98,10 +98,25 @@ class FleetState:
         self.cpu_band[m, task.band] -= task.cpu_eff
         self.mem_band[m, task.band] -= task.mem_eff
         self.n_running[m] -= 1
-        # Clamp tiny negative residue from float cancellation.
-        for arr in (self.free_cpu, self.free_mem):
+        # Clamp tiny negative residue from float cancellation. Every
+        # aggregate that is a sum over running tasks must be clamped, not
+        # just the free columns: over millions of start/stop pairs the
+        # usage aggregates accumulate the same cancellation residue, and
+        # the monitor would sample (and record) the negative values.
+        for arr in (
+            self.free_cpu,
+            self.free_mem,
+            self.cpu_base,
+            self.mem_base,
+            self.mem_assigned,
+            self.page_base,
+        ):
             if -1e-12 < arr[m] < 0:
                 arr[m] = 0.0
+        band = task.band
+        for arr in (self.cpu_band, self.mem_band):
+            if -1e-12 < arr[m, band] < 0:
+                arr[m, band] = 0.0
 
     def eviction_victims(
         self, m: int, task: SimTask

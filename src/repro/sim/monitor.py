@@ -110,7 +110,12 @@ class UsageMonitor:
             name: np.empty((0, fleet.num_machines), dtype=dtype)
             for name, dtype in _USAGE_COLUMNS
         }
-        self._cluster_rows: list[tuple[float, int, int, int, int]] = []
+        # Cluster queue-state series, preallocated tick-major like the
+        # machine buffers (grown together in _ensure_capacity).
+        self._cluster_buffers: dict[str, np.ndarray] = {
+            name: np.empty(0, dtype=np.int64)
+            for name in ("n_pending", "n_running", "n_finished", "n_abnormal")
+        }
 
     def _ensure_capacity(self) -> None:
         capacity = len(self._tick_times)
@@ -124,6 +129,10 @@ class UsageMonitor:
             grown = np.empty((new_capacity, buf.shape[1]), dtype=buf.dtype)
             grown[:capacity] = buf
             self._buffers[name] = grown
+        for name, buf in self._cluster_buffers.items():
+            grown_flat = np.empty(new_capacity, dtype=buf.dtype)
+            grown_flat[:capacity] = buf
+            self._cluster_buffers[name] = grown_flat
 
     def _noisy(
         self, base: np.ndarray, cap: np.ndarray, coeff: float, n_run: np.ndarray
@@ -184,10 +193,12 @@ class UsageMonitor:
         buffers["mem_mid_high"][i] = mem_mid_high
         buffers["mem_high"][i] = mem_high
         buffers["n_running"][i] = n_run
+        cluster = self._cluster_buffers
+        cluster["n_pending"][i] = n_pending
+        cluster["n_running"][i] = int(n_run.sum())
+        cluster["n_finished"][i] = n_finished
+        cluster["n_abnormal"][i] = n_abnormal
         self._n_ticks += 1
-        self._cluster_rows.append(
-            (time, n_pending, int(n_run.sum()), n_finished, n_abnormal)
-        )
 
     def machine_usage_table(self) -> Table:
         """All machine samples as one columnar table.
@@ -207,14 +218,8 @@ class UsageMonitor:
         return Table(columns, schema=MACHINE_USAGE_SCHEMA)
 
     def cluster_series_table(self) -> Table:
-        rows = self._cluster_rows
-        return Table(
-            {
-                "time": np.asarray([r[0] for r in rows]),
-                "n_pending": np.asarray([r[1] for r in rows], dtype=np.int64),
-                "n_running": np.asarray([r[2] for r in rows], dtype=np.int64),
-                "n_finished": np.asarray([r[3] for r in rows], dtype=np.int64),
-                "n_abnormal": np.asarray([r[4] for r in rows], dtype=np.int64),
-            },
-            schema=CLUSTER_SERIES_SCHEMA,
-        )
+        n_t = self._n_ticks
+        columns: dict[str, np.ndarray] = {"time": self._tick_times[:n_t].copy()}
+        for name, buf in self._cluster_buffers.items():
+            columns[name] = buf[:n_t].copy()
+        return Table(columns, schema=CLUSTER_SERIES_SCHEMA)

@@ -111,6 +111,7 @@ class TestCli:
             "run_length_segmentation",
             "mass_count_accumulation",
             "event_drain",
+            "sim_drain",
             "chunked_generation",
             "hostload_pipeline",
         } <= names
@@ -120,6 +121,22 @@ class TestCli:
         # A second run diffs against the first and numbers itself 4.
         assert main(["--scale", "small", "--skip-experiments", "--out", str(out), "--check"]) == 0
         assert (out / "BENCH_4.json").exists()
+
+    def test_only_filter_restricts_families(self, tmp_path):
+        out = tmp_path / "snaps"
+        code = main(
+            [
+                "--scale", "small",
+                "--only", "sim_drain",
+                "--out", str(out),
+            ]
+        )
+        assert code == 0
+        snapshot = json.loads((out / "BENCH_3.json").read_text())
+        names = {e["name"] for e in snapshot["entries"]}
+        assert names == {"sim_drain"}
+        (entry,) = snapshot["entries"]
+        assert entry["speedup"] is not None  # scalar golden ran too
 
     def test_unknown_scale_rejected(self, tmp_path):
         with pytest.raises(SystemExit):

@@ -81,7 +81,9 @@ class TestSimBasics:
     def test_batched_drain_byte_identical(self):
         # The batched event-drain fast path must not change a single
         # scheduler decision: every output table matches the
-        # one-event-at-a-time reference run exactly.
+        # one-event-at-a-time reference run exactly. Pinned to the
+        # scalar engine — batched_drain only concerns its loop, and
+        # the default engine now routes to the SoA path.
         def run(batched):
             rng = np.random.default_rng(11)
             machines = generate_machines(6, rng)
@@ -92,7 +94,9 @@ class TestSimBasics:
                 tasks_per_hour=60.0,
             )
             sim = ClusterSimulator(machines, SimConfig(), seed=13)
-            return sim.run(requests, 4 * HOUR, batched_drain=batched)
+            return sim.run(
+                requests, 4 * HOUR, batched_drain=batched, engine="scalar"
+            )
 
         fast, golden = run(True), run(False)
         assert fast.task_events == golden.task_events
