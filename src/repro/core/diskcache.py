@@ -284,8 +284,27 @@ class CacheStats:
 
 _SKELETON = "skeleton.pkl"
 _PAYLOAD = "data.npz"
+_PAYLOAD_DIR = "payload"
 _META = "meta.json"
 _QUARANTINE = ".quarantine"
+
+
+@dataclass(frozen=True)
+class _DirEntry:
+    """Skeleton marker for entries whose payload is a directory tree."""
+
+
+def _dir_bytes(path: Path) -> int:
+    """Total size of every regular file under ``path``, recursively.
+
+    Entries are no longer flat: a directory payload (``payload/`` from
+    :meth:`DiskCache.put_path`, e.g. a spilled sharded table) nests
+    files arbitrarily deep, and ``iterdir``-level ``st_size`` of a
+    subdirectory reports the directory inode, not its contents — which
+    would let multi-file entries blow straight through the LRU byte
+    budget.
+    """
+    return sum(p.stat().st_size for p in path.rglob("*") if p.is_file())
 
 #: How many corrupted entries the quarantine keeps for inspection.
 _QUARANTINE_KEEP = 8
@@ -371,7 +390,7 @@ class DiskCache:
                     tmp / _PAYLOAD,
                     **{f"a{i}": arr for i, arr in enumerate(arrays)},
                 )
-            nbytes = sum(p.stat().st_size for p in tmp.iterdir())
+            nbytes = _dir_bytes(tmp)
             (tmp / _META).write_text(
                 json.dumps({"key": key, "nbytes": nbytes}) + "\n"
             )
@@ -386,6 +405,70 @@ class DiskCache:
         else:
             self.stats.puts += 1
         self._evict(keep=self._entry_dir(key))
+
+    def put_path(self, key: str, src: str | Path, *, move: bool = False) -> None:
+        """Store a directory tree under ``key`` (atomic; last writer wins).
+
+        The tree lands as the entry's ``payload/`` directory and the
+        skeleton holds a marker, so the entry scans, touches and evicts
+        exactly like an object entry — including byte accounting of
+        every file in the tree. With ``move=True`` the source directory
+        is renamed into the entry (same filesystem, no copy); the
+        caller's ``src`` path is gone afterwards. Retrieve with
+        :meth:`get_path`, not :meth:`get`.
+        """
+        src = Path(src)
+        if not src.is_dir():
+            raise ValueError(f"source is not a directory: {src}")
+        self.root.mkdir(parents=True, exist_ok=True)
+        tmp = Path(tempfile.mkdtemp(dir=self.root, prefix=".write-"))
+        try:
+            with open(tmp / _SKELETON, "wb") as fh:
+                pickle.dump(_DirEntry(), fh, protocol=pickle.HIGHEST_PROTOCOL)
+            dest = tmp / _PAYLOAD_DIR
+            if move:
+                os.rename(src, dest)
+            else:
+                shutil.copytree(src, dest)
+            nbytes = _dir_bytes(tmp)
+            (tmp / _META).write_text(
+                json.dumps({"key": key, "nbytes": nbytes}) + "\n"
+            )
+            entry = self._entry_dir(key)
+            entry.parent.mkdir(parents=True, exist_ok=True)
+            if entry.exists():
+                shutil.rmtree(entry, ignore_errors=True)
+            os.rename(tmp, entry)
+        except OSError:
+            # A concurrent writer renamed first; its entry is equivalent.
+            shutil.rmtree(tmp, ignore_errors=True)
+        else:
+            self.stats.puts += 1
+        self._evict(keep=self._entry_dir(key))
+
+    def get_path(self, key: str) -> Path | _Miss:
+        """Path of a directory entry's payload, or :data:`MISS`.
+
+        The returned path stays valid until the entry is evicted;
+        callers holding open memory maps into it should finish one
+        analysis pass before triggering further cache writes.
+        """
+        entry = self._entry_dir(key)
+        payload = entry / _PAYLOAD_DIR
+        if not (entry / _SKELETON).exists():
+            self.stats.misses += 1
+            return MISS
+        if not payload.is_dir():
+            self.stats.errors += 1
+            self.stats.misses += 1
+            self._quarantine(entry)
+            return MISS
+        try:
+            os.utime(entry)  # LRU touch
+        except OSError:
+            pass
+        self.stats.hits += 1
+        return payload
 
     def __contains__(self, key: str) -> bool:
         return (self._entry_dir(key) / _SKELETON).exists()
@@ -463,7 +546,7 @@ class DiskCache:
                     continue
                 try:
                     mtime = entry.stat().st_mtime
-                    size = sum(p.stat().st_size for p in entry.iterdir())
+                    size = _dir_bytes(entry)
                 except OSError:
                     continue
                 found.append((entry, mtime, size))

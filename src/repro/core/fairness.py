@@ -13,7 +13,13 @@ from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["jain_fairness", "hourly_counts", "SubmissionRateStats", "submission_rate_stats"]
+__all__ = [
+    "jain_fairness",
+    "hourly_counts",
+    "HourlyCountsAccumulator",
+    "SubmissionRateStats",
+    "submission_rate_stats",
+]
 
 HOUR = 3600.0
 
@@ -43,6 +49,67 @@ def hourly_counts(submit_times: np.ndarray, horizon: float | None = None) -> np.
     bins = np.floor(submit_times / HOUR).astype(np.int64)
     bins = np.minimum(bins, n_hours - 1)  # a submit exactly at the horizon
     return np.bincount(bins, minlength=n_hours).astype(np.int64)
+
+
+class HourlyCountsAccumulator:
+    """Mergeable hourly submission counts over a fixed horizon.
+
+    Streaming counterpart of :func:`hourly_counts` with an explicit
+    horizon: each chunk contributes an ``int64`` partial bincount over
+    the same fixed number of hour bins, and integer addition makes the
+    merged counts exactly equal to the batch counts for any chunking
+    and any merge grouping. Derived statistics (Table I via
+    :func:`submission_rate_stats`, Jain fairness) are then computed
+    from an identical counts array.
+    """
+
+    def __init__(self, horizon: float) -> None:
+        end = float(horizon)
+        if not end > 0:
+            raise ValueError("horizon must be positive")
+        self._n_hours = max(int(np.ceil(end / HOUR)), 1)
+        self._counts = np.zeros(self._n_hours, dtype=np.int64)
+        self._n_values = 0
+
+    def add(self, submit_times: np.ndarray) -> None:
+        """Fold one chunk of submission times into the counts."""
+        submit_times = np.asarray(submit_times, dtype=np.float64)
+        if submit_times.size == 0:
+            return
+        if np.any(submit_times < 0):
+            raise ValueError("submission times must be non-negative")
+        bins = np.floor(submit_times / HOUR).astype(np.int64)
+        bins = np.minimum(bins, self._n_hours - 1)
+        self._counts += np.bincount(bins, minlength=self._n_hours)
+        self._n_values += submit_times.size
+
+    def merge(self, other: "HourlyCountsAccumulator") -> "HourlyCountsAccumulator":
+        """Add another accumulator's counts (same horizon required)."""
+        if other._n_hours != self._n_hours:
+            raise ValueError("cannot merge accumulators with different horizons")
+        self._counts += other._counts
+        self._n_values += other._n_values
+        return self
+
+    @property
+    def n_values(self) -> int:
+        return self._n_values
+
+    def counts(self) -> np.ndarray:
+        """The hourly counts array (matches :func:`hourly_counts`)."""
+        if self._n_values == 0:
+            raise ValueError("submit_times must be non-empty")
+        return self._counts.copy()
+
+    def finalize(self) -> "SubmissionRateStats":
+        """Table I row for everything added so far."""
+        counts = self.counts()
+        return SubmissionRateStats(
+            max_per_hour=int(counts.max()),
+            avg_per_hour=float(counts.mean()),
+            min_per_hour=int(counts.min()),
+            fairness=jain_fairness(counts),
+        )
 
 
 @dataclass(frozen=True)

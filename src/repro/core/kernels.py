@@ -26,6 +26,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .ecdf import ECDF
 from .masscount import MassCount, mass_count
 from .segments import DEFAULT_USAGE_LEVELS, discretize
 from .table import Table
@@ -33,9 +34,11 @@ from .table import Table
 __all__ = [
     "RunLengths",
     "run_length_encode",
+    "merge_run_lengths",
     "pooled_level_durations",
     "grouped_sort_split",
     "MassCountAccumulator",
+    "ECDFAccumulator",
 ]
 
 
@@ -67,6 +70,41 @@ def run_length_encode(codes: np.ndarray) -> RunLengths:
     starts = np.concatenate(([0], change)).astype(np.int64)
     ends = np.concatenate((change, [codes.size])).astype(np.int64)
     return RunLengths(starts=starts, lengths=ends - starts, values=codes[starts])
+
+
+def merge_run_lengths(left: RunLengths, right: RunLengths) -> RunLengths:
+    """Stitch the run encodings of two *adjacent* chunks.
+
+    ``left`` encodes ``codes[:n]`` and ``right`` encodes ``codes[n:]``
+    (each with starts relative to its own chunk); the result encodes the
+    concatenation, bit-identical to :func:`run_length_encode` on the
+    full array. When the chunks meet inside one run — ``left`` ends
+    with the value ``right`` starts with — the boundary runs fuse.
+    Associative, so any regrouping of an ordered chunk sequence folds
+    to the same encoding.
+    """
+    if len(left) == 0:
+        return right
+    if len(right) == 0:
+        return left
+    n_left = int(left.starts[-1] + left.lengths[-1])
+    if left.values[-1] == right.values[0]:
+        starts = np.concatenate((left.starts, right.starts[1:] + n_left))
+        lengths = np.concatenate(
+            (
+                left.lengths[:-1],
+                [left.lengths[-1] + right.lengths[0]],
+                right.lengths[1:],
+            )
+        ).astype(np.int64)
+        values = np.concatenate((left.values, right.values[1:]))
+    else:
+        starts = np.concatenate((left.starts, right.starts + n_left))
+        lengths = np.concatenate((left.lengths, right.lengths))
+        values = np.concatenate((left.values, right.values))
+    return RunLengths(
+        starts=starts.astype(np.int64), lengths=lengths, values=values
+    )
 
 
 def _series_tails(
@@ -220,6 +258,81 @@ class MassCountAccumulator:
             return np.empty(0)
         return np.concatenate(self._chunks)
 
+    def merge(self, other: "MassCountAccumulator") -> "MassCountAccumulator":
+        """Append another accumulator's chunks after this one's.
+
+        Order matters for bit-identity: ``mass_count`` sums the pooled
+        sample in insertion order (pairwise summation over the
+        concatenated array), so merging shard accumulators in shard
+        order reproduces the in-memory total exactly.
+        """
+        if other._positive_only != self._positive_only:
+            raise ValueError("cannot merge accumulators with different filters")
+        self._chunks.extend(other._chunks)
+        return self
+
     def finalize(self) -> MassCount:
         """Mass-count disparity of the pooled sample."""
         return mass_count(self.merged())
+
+
+class ECDFAccumulator:
+    """Mergeable ECDF state: sorted distinct values + integer counts.
+
+    Exactness contract: for any partition of a sample into chunks, in
+    any order and any merge grouping, ``finalize()`` is bit-identical
+    to :func:`repro.core.ecdf.ecdf` on the full sample. This holds
+    because the state is value-keyed integer counts — the merged
+    distinct values equal the full sample's distinct values, integer
+    count addition is exact and order-free, and the final probabilities
+    divide the same ``cumsum`` of the same ``int64`` counts by the same
+    total.
+    """
+
+    def __init__(self) -> None:
+        self._values = np.empty(0, dtype=np.float64)
+        self._counts = np.empty(0, dtype=np.int64)
+
+    def add(self, sample: np.ndarray) -> None:
+        """Fold one sample chunk into the state."""
+        sample = np.asarray(sample, dtype=np.float64)
+        if sample.ndim != 1:
+            raise ValueError("chunks must be 1-D")
+        if np.any(~np.isfinite(sample)):
+            raise ValueError("sample contains non-finite values")
+        if sample.size == 0:
+            return
+        values, counts = np.unique(sample, return_counts=True)
+        self._fold(values, counts.astype(np.int64))
+
+    def merge(self, other: "ECDFAccumulator") -> "ECDFAccumulator":
+        """Fold another accumulator's state into this one."""
+        self._fold(other._values, other._counts)
+        return self
+
+    def _fold(self, values: np.ndarray, counts: np.ndarray) -> None:
+        if values.size == 0:
+            return
+        if self._values.size == 0:
+            self._values = values.copy()
+            self._counts = counts.copy()
+            return
+        pooled = np.concatenate((self._values, values))
+        unique, inverse = np.unique(pooled, return_inverse=True)
+        total = np.zeros(unique.size, dtype=np.int64)
+        np.add.at(total, inverse, np.concatenate((self._counts, counts)))
+        self._values = unique
+        self._counts = total
+
+    @property
+    def n_values(self) -> int:
+        return int(self._counts.sum())
+
+    def finalize(self) -> ECDF:
+        """The ECDF of everything added so far."""
+        n = int(self._counts.sum())
+        if n == 0:
+            raise ValueError("sample must be non-empty")
+        return ECDF(
+            values=self._values, probabilities=np.cumsum(self._counts) / n
+        )

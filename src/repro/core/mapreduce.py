@@ -1,0 +1,143 @@
+"""Deterministic map-reduce over sharded tables (spawn-based pool).
+
+Executes a pure kernel over every shard of a
+:class:`~repro.core.shard.ShardedTable` and folds the results with a
+mergeable-accumulator ``merge``. Output order is the contract:
+
+* shards are processed in shard order, and
+* the reduction is the left fold ``merge(merge(r0, r1), r2) ...`` in
+  shard order, regardless of ``jobs``.
+
+With ``jobs > 1`` the shard index range is split into ``jobs``
+contiguous blocks; each worker folds its own block locally (so at most
+one shard per worker is materialized at a time) and the parent folds
+the block results in block order. For any merge that is *exact* under
+regrouping of an ordered sequence — integer count sums, ordered chunk
+concatenation, max unions, boundary stitching — the parallel result is
+byte-identical to the serial fold; every accumulator shipped in
+``core.kernels``/``core.segments``/``core.fairness`` satisfies this.
+
+The pool uses the **spawn** start method everywhere, so nothing is
+smuggled through fork copy-on-write: the kernel and every argument
+cross a real pickle boundary (repro-lint REP303), and workers touch no
+module-level state (REP103). Kernels must therefore be module-level
+functions taking ``(shard_table, *args)`` with picklable ``args``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from collections.abc import Callable, Sequence
+from concurrent.futures import ProcessPoolExecutor
+
+from .shard import ShardedTable
+
+__all__ = ["map_shards", "map_reduce", "merge_accumulators"]
+
+Kernel = Callable[..., object]
+Merge = Callable[[object, object], object]
+
+
+def merge_accumulators(left: object, right: object) -> object:
+    """Default merge: delegate to the accumulator's ``merge`` method."""
+    merged = left.merge(right)  # type: ignore[attr-defined]
+    return left if merged is None else merged
+
+
+def _split_blocks(n_shards: int, jobs: int) -> list[range]:
+    """Contiguous near-equal index blocks, deterministic in (n, jobs)."""
+    jobs = max(1, min(jobs, n_shards))
+    base, extra = divmod(n_shards, jobs)
+    blocks: list[range] = []
+    start = 0
+    for i in range(jobs):
+        size = base + (1 if i < extra else 0)
+        blocks.append(range(start, start + size))
+        start += size
+    return blocks
+
+
+def _run_kernel(
+    root: str, index: int, kernel: Kernel, args: tuple
+) -> object:
+    """Worker entry: evaluate the kernel on one shard."""
+    table = ShardedTable.open(root)
+    return kernel(table.shard(index), *args)
+
+
+def _fold_block(
+    root: str,
+    indices: Sequence[int],
+    kernel: Kernel,
+    args: tuple,
+    merge: Merge,
+) -> object:
+    """Worker entry: left-fold the kernel over one contiguous block."""
+    table = ShardedTable.open(root)
+    acc: object = None
+    for index in indices:
+        result = kernel(table.shard(index), *args)
+        acc = result if acc is None else merge(acc, result)
+    return acc
+
+
+def _spawn_pool(jobs: int) -> ProcessPoolExecutor:
+    return ProcessPoolExecutor(
+        max_workers=jobs, mp_context=multiprocessing.get_context("spawn")
+    )
+
+
+def map_shards(
+    table: ShardedTable,
+    kernel: Kernel,
+    *,
+    args: tuple = (),
+    jobs: int = 1,
+) -> list[object]:
+    """Kernel result per shard, in shard order."""
+    n = table.num_shards
+    if n == 0:
+        return []
+    if jobs <= 1 or n == 1:
+        return [kernel(shard, *args) for shard in table.iter_shards()]
+    root = str(table.root)
+    with _spawn_pool(min(jobs, n)) as pool:
+        futures = [
+            pool.submit(_run_kernel, root, i, kernel, args) for i in range(n)
+        ]
+        return [f.result() for f in futures]
+
+
+def map_reduce(
+    table: ShardedTable,
+    kernel: Kernel,
+    *,
+    args: tuple = (),
+    jobs: int = 1,
+    merge: Merge = merge_accumulators,
+) -> object:
+    """Left fold of per-shard kernel results in shard order.
+
+    Returns ``None`` for a table with zero shards.
+    """
+    n = table.num_shards
+    if n == 0:
+        return None
+    if jobs <= 1 or n == 1:
+        acc: object = None
+        for shard in table.iter_shards():
+            result = kernel(shard, *args)
+            acc = result if acc is None else merge(acc, result)
+        return acc
+    blocks = _split_blocks(n, jobs)
+    root = str(table.root)
+    with _spawn_pool(len(blocks)) as pool:
+        futures = [
+            pool.submit(_fold_block, root, list(block), kernel, args, merge)
+            for block in blocks
+        ]
+        results = [f.result() for f in futures]
+    acc = results[0]
+    for result in results[1:]:
+        acc = merge(acc, result)
+    return acc

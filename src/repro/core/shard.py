@@ -1,0 +1,417 @@
+"""Partitioned, out-of-core columnar tables (memory-mapped shards).
+
+A :class:`ShardedTable` is the out-of-core counterpart of
+:class:`repro.core.table.Table`: one directory holding a JSON manifest
+plus numbered shard directories, each shard storing one bare ``.npy``
+file per column. Bare ``.npy`` (not ``.npz``) is load-bearing —
+``np.load(..., mmap_mode="r")`` silently ignores the mmap request for
+members of a zip archive, and the whole point of the format is that a
+reader touches only the pages of the one shard it is scanning.
+
+Construction goes through :class:`ShardWriter`, which follows the disk
+cache's atomicity discipline (build under a temp sibling, publish with
+one ``os.rename``) so a crashed spill never leaves a half-written table
+where a reader could find it. Shard boundaries are a pure function of
+the row stream and ``shard_rows`` — feeding the writer 1-row appends or
+million-row appends produces byte-identical shards — so cache keys may
+fingerprint ``shard_rows`` alone, not the producer's chunking.
+
+Two partitioning modes:
+
+* **row mode** (default): every shard holds exactly ``shard_rows`` rows
+  except the last.
+* **group-aligned mode** (``group_by=column``): boundaries never split a
+  run of equal key values. Shards pack whole runs greedily up to
+  ``shard_rows`` (a single oversized run gets a shard to itself). This
+  keeps per-machine series contiguous within one shard so per-machine
+  kernels need no cross-shard state.
+
+Readers (:meth:`ShardedTable.shard`, :meth:`ShardedTable.iter_shards`,
+:meth:`ShardedTable.map_columns`) materialize at most one shard of
+mmap-backed columns at a time.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+from collections.abc import Callable, Iterator, Mapping, Sequence
+from pathlib import Path
+
+import numpy as np
+
+from .table import Table
+
+__all__ = ["ShardWriter", "ShardedTable", "write_table"]
+
+_MANIFEST = "manifest.json"
+_FORMAT_VERSION = 1
+
+
+def _shard_name(index: int) -> str:
+    return f"shard-{index:05d}"
+
+
+def _check_schema(schema: Mapping[str, np.dtype]) -> dict[str, np.dtype]:
+    if not schema:
+        raise ValueError("schema must name at least one column")
+    checked: dict[str, np.dtype] = {}
+    for name, dtype in schema.items():
+        if not name or "/" in name or os.sep in name or name != name.strip():
+            raise ValueError(f"column name {name!r} is not filesystem-safe")
+        checked[name] = np.dtype(dtype)
+    return checked
+
+
+class ShardWriter:
+    """Spill a stream of row chunks into a new sharded table.
+
+    Use as a context manager; the table appears at ``dest`` only when
+    the ``with`` block exits cleanly. On error the temp build directory
+    is removed and ``dest`` is never created.
+    """
+
+    def __init__(
+        self,
+        dest: str | Path,
+        schema: Mapping[str, np.dtype],
+        shard_rows: int,
+        *,
+        group_by: str | None = None,
+    ) -> None:
+        if shard_rows <= 0:
+            raise ValueError(f"shard_rows must be positive, got {shard_rows}")
+        self._dest = Path(dest)
+        if self._dest.exists():
+            raise FileExistsError(f"destination already exists: {self._dest}")
+        self._schema = _check_schema(schema)
+        if group_by is not None and group_by not in self._schema:
+            raise ValueError(f"group_by column {group_by!r} not in schema")
+        self._shard_rows = int(shard_rows)
+        self._group_by = group_by
+        self._tmp = self._dest.with_name(
+            f".{self._dest.name}.tmp-{os.getpid()}"
+        )
+        self._buffer: dict[str, list[np.ndarray]] = {
+            name: [] for name in self._schema
+        }
+        self._buffered = 0
+        self._shard_counts: list[int] = []
+        self._closed = False
+        self._started = False
+
+    # -- context manager ---------------------------------------------------
+
+    def __enter__(self) -> "ShardWriter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            self.close()
+        else:
+            self.abort()
+
+    # -- writing -----------------------------------------------------------
+
+    def append(self, chunk: Table | Mapping[str, np.ndarray]) -> None:
+        """Append one chunk of rows (any size, including zero)."""
+        if self._closed:
+            raise RuntimeError("writer is closed")
+        columns = chunk.columns() if isinstance(chunk, Table) else dict(chunk)
+        if set(columns) != set(self._schema):
+            raise ValueError(
+                f"chunk columns {sorted(columns)} do not match schema "
+                f"{sorted(self._schema)}"
+            )
+        arrays: dict[str, np.ndarray] = {}
+        length: int | None = None
+        for name, dtype in self._schema.items():
+            arr = np.asarray(columns[name]).astype(dtype, copy=False)
+            if arr.ndim != 1:
+                raise ValueError(f"column {name!r} must be 1-D")
+            if length is None:
+                length = arr.size
+            elif arr.size != length:
+                raise ValueError("chunk columns have unequal lengths")
+            arrays[name] = arr
+        if not length:
+            return
+        for name, arr in arrays.items():
+            self._buffer[name].append(arr)
+        self._buffered += length
+        self._drain(final=False)
+
+    def close(self) -> "ShardedTable":
+        """Flush remaining rows, write the manifest, publish atomically."""
+        if self._closed:
+            return ShardedTable.open(self._dest)
+        self._drain(final=True)
+        if self._buffered:
+            self._emit(self._buffered)
+        self._ensure_tmp()
+        manifest = {
+            "version": _FORMAT_VERSION,
+            "schema": {
+                name: dtype.str for name, dtype in self._schema.items()
+            },
+            "shard_rows": self._shard_rows,
+            "group_by": self._group_by,
+            "shards": self._shard_counts,
+            "total_rows": int(sum(self._shard_counts)),
+        }
+        manifest_path = self._tmp / _MANIFEST
+        manifest_path.write_text(json.dumps(manifest, indent=1))
+        os.rename(self._tmp, self._dest)
+        self._closed = True
+        return ShardedTable.open(self._dest)
+
+    def abort(self) -> None:
+        """Discard everything written so far; ``dest`` is untouched."""
+        self._closed = True
+        self._buffer = {name: [] for name in self._schema}
+        self._buffered = 0
+        if self._tmp.exists():
+            shutil.rmtree(self._tmp, ignore_errors=True)
+
+    # -- internals ---------------------------------------------------------
+
+    def _ensure_tmp(self) -> None:
+        if not self._started:
+            self._tmp.mkdir(parents=True, exist_ok=False)
+            self._started = True
+
+    def _drain(self, *, final: bool) -> None:
+        """Emit every shard whose boundary is already determined.
+
+        In row mode a shard is determined once ``shard_rows`` rows are
+        buffered. In group-aligned mode the greedy cut at run boundary
+        ``<= shard_rows`` is only final once more than ``shard_rows``
+        rows are buffered (or at close): until then a later run could
+        still join the shard.
+        """
+        if self._group_by is None:
+            while self._buffered >= self._shard_rows:
+                self._emit(self._shard_rows)
+            return
+        while self._buffered > self._shard_rows or (
+            final and self._buffered > 0
+        ):
+            cut = self._group_cut(final=final)
+            if cut == 0:
+                break
+            self._emit(cut)
+
+    def _group_cut(self, *, final: bool) -> int:
+        """Largest run boundary ``<= shard_rows`` from the buffer start.
+
+        Falls back to the first run boundary when the leading run alone
+        exceeds ``shard_rows``. Returns 0 when the boundary cannot be
+        determined yet (everything buffered may share one run that is
+        still growing).
+        """
+        keys = np.concatenate(self._buffer[self._group_by])
+        change = np.flatnonzero(keys[1:] != keys[:-1]) + 1
+        if change.size == 0:
+            # One run so far. Only close() may cut inside a run's
+            # potential continuation.
+            return self._buffered if final else 0
+        eligible = change[change <= self._shard_rows]
+        if eligible.size:
+            cut = int(eligible[-1])
+            if final and self._buffered <= self._shard_rows:
+                return self._buffered
+            return cut
+        # Leading run longer than shard_rows: it gets its own shard,
+        # but only once we have seen its end (the first boundary).
+        return int(change[0])
+
+    def _emit(self, n_rows: int) -> None:
+        self._ensure_tmp()
+        shard_dir = self._tmp / _shard_name(len(self._shard_counts))
+        shard_dir.mkdir()
+        for name, dtype in self._schema.items():
+            parts: list[np.ndarray] = []
+            taken = 0
+            chunks = self._buffer[name]
+            while taken < n_rows:
+                head = chunks[0]
+                need = n_rows - taken
+                if head.size <= need:
+                    parts.append(chunks.pop(0))
+                    taken += head.size
+                else:
+                    parts.append(head[:need])
+                    chunks[0] = head[need:]
+                    taken += need
+            column = (
+                parts[0] if len(parts) == 1 else np.concatenate(parts)
+            )
+            np.save(shard_dir / f"{name}.npy", np.ascontiguousarray(column))
+        self._buffered -= n_rows
+        self._shard_counts.append(int(n_rows))
+
+
+class ShardedTable:
+    """Read-only view over a published shard directory."""
+
+    __slots__ = ("_root", "_schema", "_counts", "_shard_rows", "_group_by")
+
+    def __init__(
+        self,
+        root: Path,
+        schema: dict[str, np.dtype],
+        counts: list[int],
+        shard_rows: int,
+        group_by: str | None,
+    ) -> None:
+        self._root = root
+        self._schema = schema
+        self._counts = counts
+        self._shard_rows = shard_rows
+        self._group_by = group_by
+
+    @classmethod
+    def open(cls, root: str | Path) -> "ShardedTable":
+        root = Path(root)
+        manifest_path = root / _MANIFEST
+        if not manifest_path.is_file():
+            raise FileNotFoundError(f"no shard manifest at {manifest_path}")
+        manifest = json.loads(manifest_path.read_text())
+        version = manifest.get("version")
+        if version != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported shard format version {version!r} at {root}"
+            )
+        schema = {
+            name: np.dtype(spec) for name, spec in manifest["schema"].items()
+        }
+        raw_counts = manifest["shards"]
+        return cls(
+            root=root,
+            schema=schema,
+            counts=[int(n) for n in raw_counts],
+            shard_rows=int(manifest["shard_rows"]),
+            group_by=manifest.get("group_by"),
+        )
+
+    # -- metadata ----------------------------------------------------------
+
+    @property
+    def root(self) -> Path:
+        return self._root
+
+    @property
+    def schema(self) -> dict[str, np.dtype]:
+        return dict(self._schema)
+
+    @property
+    def column_names(self) -> tuple[str, ...]:
+        return tuple(self._schema)
+
+    @property
+    def num_shards(self) -> int:
+        return len(self._counts)
+
+    @property
+    def num_rows(self) -> int:
+        return sum(self._counts)
+
+    @property
+    def shard_rows(self) -> int:
+        return self._shard_rows
+
+    @property
+    def group_by(self) -> str | None:
+        return self._group_by
+
+    @property
+    def shard_counts(self) -> tuple[int, ...]:
+        return tuple(self._counts)
+
+    def __len__(self) -> int:
+        return self.num_rows
+
+    def __repr__(self) -> str:
+        cols = ", ".join(f"{k}:{v}" for k, v in self._schema.items())
+        return (
+            f"ShardedTable(rows={self.num_rows}, shards={self.num_shards}, "
+            f"columns=[{cols}])"
+        )
+
+    # -- shard access ------------------------------------------------------
+
+    def shard(self, index: int, columns: Sequence[str] | None = None) -> Table:
+        """One shard as a Table of memory-mapped columns.
+
+        Column data is paged in lazily by the OS; slicing or reducing a
+        column touches only that column's pages.
+        """
+        if not 0 <= index < len(self._counts):
+            raise IndexError(
+                f"shard index {index} out of range [0, {len(self._counts)})"
+            )
+        names = self._select(columns)
+        shard_dir = self._root / _shard_name(index)
+        return Table(
+            {
+                name: np.load(shard_dir / f"{name}.npy", mmap_mode="r")
+                for name in names
+            }
+        )
+
+    def iter_shards(
+        self, columns: Sequence[str] | None = None
+    ) -> Iterator[Table]:
+        """Yield each shard in order; one shard live at a time."""
+        for index in range(len(self._counts)):
+            yield self.shard(index, columns)
+
+    def map_columns(
+        self,
+        fn: Callable[[Table], object],
+        columns: Sequence[str] | None = None,
+    ) -> Iterator[object]:
+        """Apply ``fn`` to each shard lazily, yielding the results."""
+        for shard in self.iter_shards(columns):
+            yield fn(shard)
+
+    def to_table(self, columns: Sequence[str] | None = None) -> Table:
+        """Materialize the whole table in memory (concat of all shards)."""
+        names = self._select(columns)
+        if not self._counts:
+            return Table(
+                {
+                    name: np.empty(0, dtype=self._schema[name])
+                    for name in names
+                }
+            )
+        parts = [self.shard(i, names) for i in range(len(self._counts))]
+        return Table(
+            {
+                name: np.concatenate([part[name] for part in parts])
+                for name in names
+            }
+        )
+
+    def _select(self, columns: Sequence[str] | None) -> tuple[str, ...]:
+        if columns is None:
+            return tuple(self._schema)
+        unknown = set(columns) - set(self._schema)
+        if unknown:
+            raise KeyError(f"unknown columns: {sorted(unknown)}")
+        return tuple(columns)
+
+
+def write_table(
+    table: Table,
+    dest: str | Path,
+    shard_rows: int,
+    *,
+    group_by: str | None = None,
+) -> ShardedTable:
+    """Spill an in-memory Table to a new sharded table in one call."""
+    schema = {name: table[name].dtype for name in table.column_names}
+    with ShardWriter(dest, schema, shard_rows, group_by=group_by) as writer:
+        writer.append(table)
+    return ShardedTable.open(dest)

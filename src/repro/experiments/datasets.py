@@ -21,7 +21,10 @@ environment variable; it is off by default for library use.
 
 from __future__ import annotations
 
+import atexit
 import os
+import shutil
+import tempfile
 from dataclasses import dataclass
 from functools import lru_cache
 from pathlib import Path
@@ -30,6 +33,8 @@ import numpy as np
 
 from .. import __version__
 from ..core.diskcache import MISS, DiskCache, cache_key, fingerprint
+from ..core.shard import write_table
+from ..core.table import Table
 from ..hostload.series import MachineLoadSeries, all_machine_series
 from ..sim.cluster import ClusterSimulator, SimConfig, SimResult
 from ..synth.google_model import (
@@ -42,19 +47,24 @@ from ..synth.grid_model import generate_all_grids
 from ..synth.machines import generate_machines
 from ..synth.presets import DAY, GRID_PRESETS
 from ..traces.convert import grid_jobs_to_job_table
-from ..core.table import Table
 
 __all__ = [
     "DATASET_CACHE_VERSION",
     "SCALES",
+    "BackendSpec",
     "ScaleSpec",
     "WorkloadDataset",
     "SimulationDataset",
+    "active_backend",
+    "configure_backend",
     "configure_cache",
     "dataset_cache",
     "dataset_stats",
     "default_cache_dir",
     "reset_dataset_stats",
+    "sharded_google_jobs",
+    "sharded_machine_usage",
+    "sharded_task_durations",
     "workload_dataset",
     "simulation_dataset",
     "sim_google_config",
@@ -168,6 +178,7 @@ _STATS = {
     "simulation_builds": 0,
     "disk_hits": 0,
     "disk_misses": 0,
+    "shard_spills": 0,
 }
 
 
@@ -201,6 +212,9 @@ def configure_cache(
     )
     workload_dataset.cache_clear()
     simulation_dataset.cache_clear()
+    sharded_google_jobs.cache_clear()
+    sharded_task_durations.cache_clear()
+    sharded_machine_usage.cache_clear()
     return _CACHE
 
 
@@ -336,6 +350,224 @@ def _build_simulation(
     result = sim.run(requests, spec.sim_horizon)
     series = all_machine_series(result.machine_usage, result.machines)
     return SimulationDataset(result=result, series=series, config=config)
+
+
+# -- out-of-core backend ------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class BackendSpec:
+    """How experiments materialize their large tables.
+
+    ``memory`` (the default) keeps every dataset as in-process arrays;
+    ``sharded`` spills the large Google-side tables to
+    :class:`repro.core.shard.ShardedTable` directories and streams the
+    characterization kernels over them — optionally fanned out across a
+    spawn-based worker pool (``jobs``). Results are byte-identical to
+    the in-memory backend (the experiments use only exactly-mergeable
+    accumulators); only peak memory and wall-clock change.
+    """
+
+    name: str = "memory"
+    shard_rows: int = 1_000_000
+    jobs: int = 1
+
+    def __post_init__(self) -> None:
+        if self.name not in ("memory", "sharded"):
+            raise ValueError(f"unknown backend {self.name!r}")
+        if self.shard_rows <= 0:
+            raise ValueError("shard_rows must be positive")
+        if self.jobs < 1:
+            raise ValueError("jobs must be at least 1")
+
+
+#: (active backend or None, whether configure_backend was called).
+_BACKEND: BackendSpec | None = None
+_BACKEND_CONFIGURED = False
+
+
+def configure_backend(spec: BackendSpec | None) -> BackendSpec:
+    """Select the experiment backend (None restores the default).
+
+    The choice is also exported via ``REPRO_BACKEND``/
+    ``REPRO_SHARD_ROWS``/``REPRO_BACKEND_JOBS`` so supervisor workers
+    started with the spawn method resolve the same backend; fork-based
+    workers inherit the module state directly.
+    """
+    global _BACKEND, _BACKEND_CONFIGURED
+    _BACKEND_CONFIGURED = True
+    _BACKEND = spec if spec is not None else BackendSpec()
+    os.environ["REPRO_BACKEND"] = _BACKEND.name
+    os.environ["REPRO_SHARD_ROWS"] = str(_BACKEND.shard_rows)
+    os.environ["REPRO_BACKEND_JOBS"] = str(_BACKEND.jobs)
+    return _BACKEND
+
+
+def active_backend() -> BackendSpec:
+    """The configured backend, honouring ``REPRO_BACKEND`` by default."""
+    global _BACKEND, _BACKEND_CONFIGURED
+    if not _BACKEND_CONFIGURED:
+        _BACKEND_CONFIGURED = True
+        _BACKEND = BackendSpec(
+            name=os.environ.get("REPRO_BACKEND", "memory"),
+            shard_rows=int(os.environ.get("REPRO_SHARD_ROWS", "1000000")),
+            jobs=int(os.environ.get("REPRO_BACKEND_JOBS", "1")),
+        )
+    if _BACKEND is None:
+        _BACKEND = BackendSpec()
+    return _BACKEND
+
+
+#: Process-local spill directories (used when no disk cache is active),
+#: removed at interpreter exit.
+_SPILL_TMPDIRS: list[str] = []
+
+
+def _cleanup_spills() -> None:
+    for path in _SPILL_TMPDIRS:
+        shutil.rmtree(path, ignore_errors=True)
+
+
+atexit.register(_cleanup_spills)
+
+
+def _tmp_spill(table: Table, shard_rows: int, group_by: str | None) -> str:
+    tmp = tempfile.mkdtemp(prefix="repro-spill-")
+    _SPILL_TMPDIRS.append(tmp)
+    dest = Path(tmp) / "shards"
+    write_table(table, dest, shard_rows, group_by=group_by)
+    _STATS["shard_spills"] += 1
+    return str(dest)
+
+
+def _sharded_build(
+    kind: str,
+    key_parts: dict[str, object],
+    build_table,
+    shard_rows: int,
+    group_by: str | None = None,
+) -> str:
+    """Spill a pure table builder to a sharded directory, via the cache.
+
+    Returns the shard-table root as a path string (cheap to pickle into
+    kernels and to memoize). With a disk cache active the spill lands
+    in a cache entry (:meth:`DiskCache.put_path`) shared across
+    processes; otherwise in a process-local temp directory cleaned up
+    at exit.
+    """
+    cache = dataset_cache()
+    if cache is None:
+        return _tmp_spill(build_table(), shard_rows, group_by)
+    key = cache_key(
+        kind=kind,
+        version=DATASET_CACHE_VERSION,
+        repro=__version__,
+        shard_rows=shard_rows,
+        **key_parts,
+    )
+    path = cache.get_path(key)
+    if path is not MISS:
+        _STATS["disk_hits"] += 1
+        return str(path)
+    _STATS["disk_misses"] += 1
+    table = build_table()
+    cache.root.mkdir(parents=True, exist_ok=True)
+    tmp = tempfile.mkdtemp(dir=cache.root, prefix=".spill-")
+    dest = Path(tmp) / "shards"
+    write_table(table, dest, shard_rows, group_by=group_by)
+    _STATS["shard_spills"] += 1
+    cache.put_path(key, dest, move=True)
+    shutil.rmtree(tmp, ignore_errors=True)
+    path = cache.get_path(key)
+    if path is not MISS:
+        return str(path)
+    # The entry was evicted before first use (cache budget smaller than
+    # the spill) — fall back to a process-local spill.
+    return _tmp_spill(table, shard_rows, group_by)
+
+
+@lru_cache(maxsize=8)
+def sharded_google_jobs(
+    scale: str = "paper", seed: int = 0, shard_rows: int = 1_000_000
+) -> str:
+    """Google job table spilled sorted by submit time (path string).
+
+    The submit-time sort makes per-shard interarrival kernels exact:
+    every shard holds a contiguous time range, so cross-shard gaps are
+    single boundary differences (see fig5's gap state).
+    """
+    spec = _scale(scale)
+    config = GoogleConfig(
+        busy_window=spec.busy_window, busy_factor=spec.busy_factor
+    )
+    return _sharded_build(
+        "workload-jobs-shards",
+        {
+            "scale": fingerprint(spec),
+            "seed": seed,
+            "config": fingerprint(config),
+            "grids": fingerprint(GRID_PRESETS),
+            "order": "submit_time",
+        },
+        lambda: workload_dataset(scale, seed).google_jobs.sort_by(
+            "submit_time"
+        ),
+        shard_rows,
+    )
+
+
+@lru_cache(maxsize=8)
+def sharded_task_durations(
+    scale: str = "paper", seed: int = 0, shard_rows: int = 1_000_000
+) -> str:
+    """Google task-duration sample as a single-column sharded table."""
+    spec = _scale(scale)
+    config = GoogleConfig(
+        busy_window=spec.busy_window, busy_factor=spec.busy_factor
+    )
+    return _sharded_build(
+        "workload-tasks-shards",
+        {
+            "scale": fingerprint(spec),
+            "seed": seed,
+            "config": fingerprint(config),
+            "columns": ("duration",),
+        },
+        lambda: Table(
+            {"duration": workload_dataset(scale, seed).google_tasks.duration}
+        ),
+        shard_rows,
+    )
+
+
+@lru_cache(maxsize=8)
+def sharded_machine_usage(
+    scale: str = "paper", seed: int = 0, shard_rows: int = 1_000_000
+) -> str:
+    """Simulated machine-usage table spilled machine-major (path string).
+
+    Rows are sorted by ``(machine_id, time)`` — the exact element order
+    :func:`repro.hostload.series.grouped_machine_series` gathers — and
+    shard cuts are aligned to machine boundaries (``group_by``), so a
+    per-machine series is always contiguous within one shard.
+    """
+    spec = _scale(scale)
+    config = sim_google_config(spec)
+    return _sharded_build(
+        "simulation-usage-shards",
+        {
+            "scale": fingerprint(spec),
+            "seed": seed,
+            "config": fingerprint(config),
+            "sim": fingerprint(SimConfig()),
+            "order": "machine_id,time",
+        },
+        lambda: simulation_dataset(scale, seed).result.machine_usage.sort_by(
+            "machine_id", "time"
+        ),
+        shard_rows,
+        group_by="machine_id",
+    )
 
 
 def grid_system_names() -> list[str]:

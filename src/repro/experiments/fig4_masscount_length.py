@@ -10,17 +10,39 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..core.kernels import MassCountAccumulator
+from ..core.mapreduce import map_reduce
 from ..core.masscount import joint_ratio_label, mass_count
+from ..core.shard import ShardedTable
 from ..synth.presets import DAY
 from .base import ExperimentResult, ResultTable
-from .datasets import workload_dataset
+from .datasets import active_backend, sharded_task_durations, workload_dataset
 
 __all__ = ["run"]
 
 
+def _collect_durations(shard) -> MassCountAccumulator:
+    """Map kernel: pool one shard's task durations."""
+    acc = MassCountAccumulator()
+    acc.add(shard["duration"])
+    return acc
+
+
 def run(scale: str = "paper", seed: int = 0) -> ExperimentResult:
     data = workload_dataset(scale, seed)
-    google_lengths = np.asarray(data.google_tasks.duration)
+    backend = active_backend()
+    if backend.name == "sharded":
+        # Stream the duration column shard by shard; merging in shard
+        # order reassembles the exact in-memory sample, so every number
+        # below is byte-identical to the memory backend.
+        shards = ShardedTable.open(
+            sharded_task_durations(scale, seed, backend.shard_rows)
+        )
+        google_lengths = map_reduce(
+            shards, _collect_durations, jobs=backend.jobs
+        ).merged()
+    else:
+        google_lengths = np.asarray(data.google_tasks.duration)
     ag = data.grid_jobs_native["AuverGrid"]
     ag_lengths = np.asarray(ag["run_time"])
 

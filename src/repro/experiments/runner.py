@@ -35,12 +35,20 @@ from __future__ import annotations
 
 import argparse
 import json
+import resource
 import sys
 from collections.abc import Sequence
 from pathlib import Path
 
 from ..core.timing import Timings, render_timings
-from .datasets import SCALES, configure_cache, default_cache_dir, reset_dataset_stats
+from .datasets import (
+    SCALES,
+    BackendSpec,
+    configure_backend,
+    configure_cache,
+    default_cache_dir,
+    reset_dataset_stats,
+)
 from .faults import FaultPlan, plan_from_env
 from .parallel import run_experiments
 from .registry import EXPERIMENTS
@@ -171,6 +179,23 @@ def _parser() -> argparse.ArgumentParser:
         help="disable the on-disk dataset cache (and run journaling)",
     )
     parser.add_argument(
+        "--backend",
+        choices=("memory", "sharded"),
+        default="memory",
+        help=(
+            "dataset backend: in-memory arrays, or out-of-core sharded "
+            "tables streamed by map-reduce kernels (byte-identical "
+            "output, bounded peak memory)"
+        ),
+    )
+    parser.add_argument(
+        "--shard-rows",
+        type=int,
+        default=1_000_000,
+        metavar="N",
+        help="rows per shard for --backend sharded (default: 1000000)",
+    )
+    parser.add_argument(
         "--json",
         metavar="PATH",
         default=None,
@@ -210,11 +235,19 @@ def _json_report(
             entry["error"] = outcome.error
             entry["error_kind"] = outcome.error_kind
         per_experiment.append(entry)
+    # ru_maxrss is KiB on Linux; take the worst of this process and its
+    # reaped workers so a bounded-memory claim covers the whole tree.
+    peak_rss_kb = max(
+        resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+        resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss,
+    )
     return {
         "scale": scale,
         "seed": seed,
         "jobs": args.jobs,
         "run_id": run,
+        "backend": {"name": args.backend, "shard_rows": args.shard_rows},
+        "peak_rss_kb": int(peak_rss_kb),
         "cache": {
             "enabled": cache_dir is not None,
             "dir": str(cache_dir) if cache_dir is not None else None,
@@ -241,6 +274,12 @@ def main(argv: Sequence[str] | None = None) -> int:
         return 0
     if args.jobs < 1:
         print(f"--jobs must be >= 1, got {args.jobs}", file=sys.stderr)
+        return 2
+    if args.shard_rows < 1:
+        print(
+            f"--shard-rows must be >= 1, got {args.shard_rows}",
+            file=sys.stderr,
+        )
         return 2
     if args.retries < 0:
         print(f"--retries must be >= 0, got {args.retries}", file=sys.stderr)
@@ -323,6 +362,11 @@ def main(argv: Sequence[str] | None = None) -> int:
         return 2
 
     configure_cache(cache_dir)
+    configure_backend(
+        BackendSpec(
+            name=args.backend, shard_rows=args.shard_rows, jobs=args.jobs
+        )
+    )
     reset_dataset_stats()
 
     supervised = (

@@ -175,6 +175,30 @@ class UsageGridAccumulator:
                 np.add.at(self._grids[name].ravel(), flat, values)
         np.add.at(self._n_running.ravel(), flat, 1)
 
+    def merge(self, other: "UsageGridAccumulator") -> "UsageGridAccumulator":
+        """Add another accumulator's grids elementwise (same config).
+
+        Lets disjoint task-chunk ranges accumulate on separate grids
+        (e.g. one per map-reduce worker) and combine. The ``n_running``
+        count grid merges exactly (integer addition); the float usage
+        grids merge deterministically for a *fixed* partition of tasks
+        into grids, but partial float sums are not bit-identical across
+        different partitions — callers needing byte-stable output must
+        keep the (chunking, jobs) layout fixed, as the experiment
+        backends do by using only exact accumulators.
+        """
+        if (
+            other.num_machines != self.num_machines
+            or other.num_ticks != self.num_ticks
+            or other.period != self.period
+            or other.attributes != self.attributes
+        ):
+            raise ValueError("cannot merge accumulators with different config")
+        for name in self.attributes:
+            self._grids[name] += other._grids[name]
+        self._n_running += other._n_running
+        return self
+
     # -- outputs -------------------------------------------------------------
 
     def grid(self, attribute: str) -> np.ndarray:

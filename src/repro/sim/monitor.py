@@ -135,15 +135,21 @@ class UsageMonitor:
             self._cluster_buffers[name] = grown_flat
 
     def _noisy(
-        self, base: np.ndarray, cap: np.ndarray, coeff: float, n_run: np.ndarray
+        self,
+        base: np.ndarray,
+        cap: np.ndarray,
+        coeff: float,
+        n_run: np.ndarray,
+        draw: np.ndarray | None = None,
     ) -> np.ndarray:
         if coeff == 0.0:
             # Clip float cancellation residue from incremental updates.
             return np.clip(base, 0.0, cap)
+        if draw is None:
+            draw = self.rng.standard_normal(base.size)
         scale = coeff / np.sqrt(np.maximum(n_run, 1))
-        mult = 1.0 + scale * self.rng.standard_normal(base.size)
+        mult = 1.0 + scale * draw
         return np.clip(base * np.clip(mult, 0.0, None), 0.0, cap)
-
 
     def sample(
         self, time: float, n_pending: int, n_finished: int, n_abnormal: int
@@ -152,21 +158,56 @@ class UsageMonitor:
         fleet = self.fleet
         cfg = self.config
         n_run = fleet.n_running
-        cpu = self._noisy(fleet.cpu_base, fleet.cpu_capacity, cfg.cpu_noise, n_run)
-        if cfg.cpu_spike_prob > 0:
-            # Reservation bursts: a machine's tasks transiently consume
-            # (nearly) everything they were allocated.
-            spiking = self.rng.uniform(size=cpu.size) < cfg.cpu_spike_prob
-            if spiking.any():
-                allocated = fleet.cpu_capacity - fleet.free_cpu
-                lo, hi = cfg.cpu_spike_range
-                burst = np.clip(allocated[spiking], 0.0, None) * self.rng.uniform(
-                    lo, hi, int(spiking.sum())
-                )
-                cpu[spiking] = np.maximum(cpu[spiking], burst)
-        mem = self._noisy(fleet.mem_base, fleet.mem_capacity, cfg.mem_noise, n_run)
+        n = fleet.num_machines
+        # Batch the tick's normal draws into one block where the stream
+        # allows: ``standard_normal`` fills element by element from the
+        # bit stream, so one ``k*n`` draw consumes PCG64 identically to
+        # ``k`` consecutive ``n``-draws and the slices match bit for
+        # bit. CPU may join the block only when no spike uniforms sit
+        # between its draw and mem/page's; zero-coefficient attributes
+        # draw nothing (see _noisy) and stay out of the block.
+        n_tail = int(cfg.mem_noise != 0.0) + int(cfg.page_noise != 0.0)
+        fuse_cpu = cfg.cpu_spike_prob == 0 and cfg.cpu_noise != 0.0
+        block: np.ndarray | None = None
+        offset = 0
+        if fuse_cpu and n_tail:
+            block = self.rng.standard_normal((1 + n_tail) * n)
+            cpu = self._noisy(
+                fleet.cpu_base, fleet.cpu_capacity, cfg.cpu_noise, n_run,
+                draw=block[:n],
+            )
+            offset = n
+        else:
+            cpu = self._noisy(
+                fleet.cpu_base, fleet.cpu_capacity, cfg.cpu_noise, n_run
+            )
+            if cfg.cpu_spike_prob > 0:
+                # Reservation bursts: a machine's tasks transiently
+                # consume (nearly) everything they were allocated.
+                spiking = self.rng.uniform(size=cpu.size) < cfg.cpu_spike_prob
+                if spiking.any():
+                    allocated = fleet.cpu_capacity - fleet.free_cpu
+                    lo, hi = cfg.cpu_spike_range
+                    burst = np.clip(
+                        allocated[spiking], 0.0, None
+                    ) * self.rng.uniform(lo, hi, int(spiking.sum()))
+                    cpu[spiking] = np.maximum(cpu[spiking], burst)
+            if n_tail > 1:
+                block = self.rng.standard_normal(n_tail * n)
+        mem_draw = page_draw = None
+        if block is not None:
+            if cfg.mem_noise != 0.0:
+                mem_draw = block[offset : offset + n]
+                offset += n
+            if cfg.page_noise != 0.0:
+                page_draw = block[offset : offset + n]
+        mem = self._noisy(
+            fleet.mem_base, fleet.mem_capacity, cfg.mem_noise, n_run,
+            draw=mem_draw,
+        )
         page = self._noisy(
-            fleet.page_base, fleet.page_capacity, cfg.page_noise, n_run
+            fleet.page_base, fleet.page_capacity, cfg.page_noise, n_run,
+            draw=page_draw,
         )
         # Scale the per-band splits by the same realized multiplier so
         # bands stay consistent with the machine total.

@@ -489,11 +489,11 @@ def iter_task_requests(
 ) -> Iterator[TaskRequests]:
     """Stream task requests as bounded-size columnar chunks.
 
-    The scalable path to paper scale (25M tasks): only the arrival
-    times are materialized up front (one float64 column — the arrival
-    process's hour-by-hour draws are a single RNG stream); all other
+    The scalable path to paper scale (25M tasks) and beyond: arrival
+    times stream in bounded hour blocks (``iter_generate`` — only the
+    per-hour rate and count vectors are full-horizon), and all other
     columns are sampled per fixed-size internal block from that block's
-    own spawned RNG stream, so peak memory is one arrival column plus
+    own spawned RNG stream, so peak memory is one arrival block plus
     one chunk instead of eleven full-horizon columns.
 
     Guarantees:
@@ -529,21 +529,42 @@ def iter_task_requests(
         busy_factor=config.busy_factor,
     )
     arrival_seq, column_seq = np.random.SeedSequence(seed).spawn(2)
-    submit = process.generate(np.random.default_rng(arrival_seq), horizon)
-    n = submit.size
-    if n == 0:
-        raise ValueError("horizon too short: no tasks generated")
-    n_blocks = -(-n // _COLUMN_BLOCK)
-    block_seqs = column_seq.spawn(n_blocks)
+    arrival_blocks = process.iter_generate(np.random.default_rng(arrival_seq), horizon)
 
+    # Re-slice the streamed arrivals into the same consecutive
+    # _COLUMN_BLOCK-sized pieces the materialized path produced, and
+    # spawn each block's SeedSequence lazily: spawning is incremental
+    # (spawn(1) repeated == spawn(n_blocks) up front), so block seeds —
+    # and hence every sampled column — stay bit-identical without
+    # knowing the total block count in advance.
     pending: list[TaskRequests] = []
     pending_rows = 0
-    for j in range(n_blocks):
-        lo = j * _COLUMN_BLOCK
-        hi = min(lo + _COLUMN_BLOCK, n)
+    buffered: list[np.ndarray] = []
+    buffered_rows = 0
+    start = 0
+    exhausted = False
+    while True:
+        while buffered_rows < _COLUMN_BLOCK and not exhausted:
+            piece = next(arrival_blocks, None)
+            if piece is None:
+                exhausted = True
+            elif piece.size:
+                buffered.append(piece)
+                buffered_rows += piece.size
+        if buffered_rows == 0:
+            break
+        merged_submit = np.concatenate(buffered) if len(buffered) > 1 else buffered[0]
+        take = min(_COLUMN_BLOCK, merged_submit.size)
+        rest_submit = merged_submit[take:]
+        buffered = [rest_submit] if rest_submit.size else []
+        buffered_rows = rest_submit.size
         block = _sample_request_block(
-            config, np.random.default_rng(block_seqs[j]), submit[lo:hi], lo
+            config,
+            np.random.default_rng(column_seq.spawn(1)[0]),
+            merged_submit[:take],
+            start,
         )
+        start += take
         pending.append(block)
         pending_rows += len(block)
         while pending_rows >= chunk_tasks:
@@ -552,6 +573,8 @@ def iter_task_requests(
             rest = _slice_requests(merged, chunk_tasks, len(merged))
             pending = [rest] if len(rest) else []
             pending_rows = len(rest)
+    if start == 0:
+        raise ValueError("horizon too short: no tasks generated")
     if pending_rows:
         yield concat_task_requests(pending)
 

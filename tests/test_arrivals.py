@@ -129,3 +129,37 @@ class TestDoublyStochastic:
             DoublyStochasticArrivals(mean_per_hour=1.0, target_cv=-1.0)
         with pytest.raises(ValueError):
             DoublyStochasticArrivals(mean_per_hour=1.0, busy_factor=0.0)
+
+    def test_iter_generate_bit_identical_to_generate(self):
+        # Golden stream-equivalence: concatenating the bounded blocks
+        # must reproduce the one-shot draw bit for bit, whatever the
+        # block size (including blocks smaller than an hour's count and
+        # one block covering the whole horizon).
+        proc = DoublyStochasticArrivals(
+            mean_per_hour=500.0,
+            target_cv=0.9,
+            diurnal_amplitude=0.05,
+            busy_window=(2 * 3600.0, 20 * 3600.0),
+            busy_factor=1.5,
+        )
+        horizon = 2 * DAY + 123.0
+        want = proc.generate(np.random.default_rng(np.random.SeedSequence(11)), horizon)
+        for block_tasks in (1, 137, 10_000, 10**9):
+            got = np.concatenate(
+                list(
+                    proc.iter_generate(
+                        np.random.default_rng(np.random.SeedSequence(11)),
+                        horizon,
+                        block_tasks=block_tasks,
+                    )
+                )
+            )
+            assert got.dtype == want.dtype
+            assert np.array_equal(got, want)
+
+    def test_iter_generate_validation(self):
+        proc = DoublyStochasticArrivals(mean_per_hour=10.0)
+        with pytest.raises(ValueError):
+            list(proc.iter_generate(np.random.default_rng(0), -1.0))
+        with pytest.raises(ValueError):
+            list(proc.iter_generate(np.random.default_rng(0), DAY, block_tasks=0))

@@ -269,3 +269,69 @@ class TestEviction:
             cache.put(c * 64, {"x": 1})
         assert len(cache.entries()) == 6
         assert cache.stats.evictions == 0
+
+
+class TestDirectoryEntries:
+    """put_path/get_path and recursive byte accounting."""
+
+    def _tree(self, tmp_path, name="src", nbytes=1000):
+        src = tmp_path / name
+        (src / "nested").mkdir(parents=True)
+        (src / "a.npy").write_bytes(b"x" * nbytes)
+        (src / "nested" / "b.npy").write_bytes(b"y" * nbytes)
+        return src
+
+    def test_round_trip_copy(self, tmp_path):
+        cache = DiskCache(tmp_path / "cache", max_bytes=None, max_entries=None)
+        src = self._tree(tmp_path)
+        key = "d" * 64
+        cache.put_path(key, src)
+        assert src.is_dir()  # copy leaves the source alone
+        payload = cache.get_path(key)
+        assert payload is not MISS
+        assert (payload / "a.npy").read_bytes() == b"x" * 1000
+        assert (payload / "nested" / "b.npy").read_bytes() == b"y" * 1000
+
+    def test_move_consumes_source(self, tmp_path):
+        cache = DiskCache(tmp_path / "cache", max_bytes=None, max_entries=None)
+        src = self._tree(tmp_path)
+        cache.put_path("e" * 64, src, move=True)
+        assert not src.exists()
+        assert cache.get_path("e" * 64) is not MISS
+
+    def test_miss_on_absent_key(self, tmp_path):
+        cache = DiskCache(tmp_path / "cache")
+        assert cache.get_path("f" * 64) is MISS
+        assert cache.stats.misses == 1
+
+    def test_accounting_counts_every_nested_file(self, tmp_path):
+        cache = DiskCache(tmp_path / "cache", max_bytes=None, max_entries=None)
+        src = self._tree(tmp_path, nbytes=5000)
+        cache.put_path("a" * 64, src, move=True)
+        # Both payload files plus skeleton/meta must be visible to the
+        # byte budget; the old iterdir-level accounting saw none of the
+        # nested payload bytes.
+        assert cache.total_bytes() >= 10_000
+
+    def test_byte_budget_evicts_directory_entries(self, tmp_path):
+        import os
+
+        cache = DiskCache(tmp_path / "cache", max_bytes=1, max_entries=None)
+        for i, c in enumerate("ab"):
+            key = c * 64
+            cache.put_path(key, self._tree(tmp_path, name=f"src{i}"), move=True)
+            os.utime(tmp_path / "cache" / key[:2] / key, (1000 + i, 1000 + i))
+        cache._evict()
+        assert len(cache.entries()) <= 1
+
+    def test_object_get_on_dir_entry_is_quarantined_miss(self, tmp_path):
+        cache = DiskCache(tmp_path / "cache", max_bytes=None, max_entries=None)
+        cache.put_path("b" * 64, self._tree(tmp_path), move=True)
+        # get_path on an entry whose payload dir was destroyed recovers
+        # as a miss instead of handing out a broken path.
+        payload = cache.get_path("b" * 64)
+        import shutil as _shutil
+
+        _shutil.rmtree(payload)
+        assert cache.get_path("b" * 64) is MISS
+        assert cache.stats.errors == 1

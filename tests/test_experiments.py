@@ -209,3 +209,57 @@ class TestDatasets:
         from repro.experiments.datasets import workload_dataset
 
         assert workload_dataset("small", 0) is workload_dataset("small", 0)
+
+
+class TestShardedBackend:
+    """--backend sharded must render byte-identically to in-memory."""
+
+    SHARDED_IDS = ("fig4", "fig5", "fig7", "fig13", "tab1")
+
+    @pytest.fixture()
+    def sharded_backend(self):
+        from repro.experiments.datasets import BackendSpec, configure_backend
+
+        yield lambda **kw: configure_backend(
+            BackendSpec(name="sharded", **kw)
+        )
+        configure_backend(None)
+
+    def test_rendered_output_identical(self, results, sharded_backend):
+        sharded_backend(shard_rows=4096)
+        for exp_id in self.SHARDED_IDS:
+            rendered = run_experiment(exp_id, scale="small", seed=0).render()
+            assert rendered == results[exp_id].render(), exp_id
+
+    def test_spawn_pool_identical(self, results, sharded_backend):
+        sharded_backend(shard_rows=4096, jobs=2)
+        rendered = run_experiment("fig7", scale="small", seed=0).render()
+        assert rendered == results["fig7"].render()
+
+    def test_shard_size_invariant(self, results, sharded_backend):
+        for shard_rows in (1000, 30_000):
+            sharded_backend(shard_rows=shard_rows)
+            rendered = run_experiment("fig5", scale="small", seed=0).render()
+            assert rendered == results["fig5"].render(), shard_rows
+
+    def test_runner_cli_backend_flag(self, capsys):
+        assert (
+            runner_main(
+                [
+                    "fig4",
+                    "--scale",
+                    "small",
+                    "--no-cache",
+                    "--backend",
+                    "sharded",
+                    "--shard-rows",
+                    "5000",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "Fig. 4" in out
+        from repro.experiments.datasets import configure_backend
+
+        configure_backend(None)

@@ -1,0 +1,192 @@
+"""Map-reduce over shards: order contract and merge exactness.
+
+The load-bearing property is byte-identity: for every accumulator the
+experiments use, folding per-shard partials must reproduce the batch
+computation bit for bit, for any shard size and for the spawn pool.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.ecdf import ecdf
+from repro.core.fairness import HourlyCountsAccumulator, hourly_counts
+from repro.core.kernels import (
+    ECDFAccumulator,
+    MassCountAccumulator,
+    merge_run_lengths,
+    run_length_encode,
+)
+from repro.core.mapreduce import map_reduce, map_shards, merge_accumulators
+from repro.core.masscount import mass_count
+from repro.core.segments import LevelRunAccumulator, level_durations
+from repro.core.shard import write_table
+from repro.core.table import Table
+
+SHARD_SIZES = (1, 3, 7, 50, 1000)
+
+
+def _sample(n=200, seed=3):
+    rng = np.random.default_rng(seed)
+    # Repeated values exercise the ECDF's distinct-value folding.
+    return np.round(rng.exponential(50.0, n), 1)
+
+
+def _sum_kernel(shard):
+    return float(np.sum(np.asarray(shard["x"])))
+
+
+def _ecdf_kernel(shard):
+    acc = ECDFAccumulator()
+    acc.add(np.asarray(shard["x"]))
+    return acc
+
+
+def _mass_kernel(shard):
+    acc = MassCountAccumulator()
+    acc.add(np.asarray(shard["x"]))
+    return acc
+
+
+def _hourly_kernel(shard, horizon):
+    acc = HourlyCountsAccumulator(horizon)
+    acc.add(np.asarray(shard["x"]))
+    return acc
+
+
+def _runs_kernel(shard):
+    return run_length_encode(np.asarray(shard["x"]))
+
+
+class TestMapShards:
+    def test_results_in_shard_order(self, tmp_path):
+        values = _sample(40)
+        sharded = write_table(Table({"x": values}), tmp_path / "t", 7)
+        got = map_shards(sharded, _sum_kernel)
+        want = [
+            float(np.sum(values[i : i + 7])) for i in range(0, 40, 7)
+        ]
+        assert got == want
+
+    def test_zero_shards(self, tmp_path):
+        sharded = write_table(Table({"x": np.empty(0)}), tmp_path / "t", 4)
+        assert map_shards(sharded, _sum_kernel) == []
+        assert map_reduce(sharded, _sum_kernel, merge=lambda a, b: a) is None
+
+
+class TestMergeExactness:
+    """Per-shard fold == batch, bit for bit, for every shard size."""
+
+    def test_ecdf(self, tmp_path):
+        values = _sample()
+        want = ecdf(values)
+        for rows in SHARD_SIZES:
+            sharded = write_table(
+                Table({"x": values}), tmp_path / f"e{rows}", rows
+            )
+            got = map_reduce(sharded, _ecdf_kernel).finalize()
+            np.testing.assert_array_equal(got.values, want.values)
+            np.testing.assert_array_equal(got.probabilities, want.probabilities)
+
+    def test_mass_count(self, tmp_path):
+        values = _sample()
+        want = mass_count(values)
+        for rows in SHARD_SIZES:
+            sharded = write_table(
+                Table({"x": values}), tmp_path / f"m{rows}", rows
+            )
+            acc = map_reduce(sharded, _mass_kernel)
+            np.testing.assert_array_equal(acc.merged(), values)
+            got = acc.finalize()
+            assert got.mm_distance == want.mm_distance
+            assert got.joint_ratio == want.joint_ratio
+
+    def test_hourly_counts(self, tmp_path):
+        times = np.sort(_sample(300, seed=5)) * 60.0
+        horizon = float(times.max()) + 1.0
+        want = hourly_counts(times, horizon)
+        for rows in SHARD_SIZES:
+            sharded = write_table(
+                Table({"x": times}), tmp_path / f"h{rows}", rows
+            )
+            acc = map_reduce(sharded, _hourly_kernel, args=(horizon,))
+            np.testing.assert_array_equal(acc.counts(), want)
+
+    def test_run_lengths(self, tmp_path):
+        rng = np.random.default_rng(11)
+        codes = rng.integers(0, 3, 120, dtype=np.int64)
+        want = run_length_encode(codes)
+        for rows in SHARD_SIZES:
+            sharded = write_table(
+                Table({"x": codes}), tmp_path / f"r{rows}", rows
+            )
+            got = map_reduce(sharded, _runs_kernel, merge=merge_run_lengths)
+            np.testing.assert_array_equal(got.starts, want.starts)
+            np.testing.assert_array_equal(got.lengths, want.lengths)
+            np.testing.assert_array_equal(got.values, want.values)
+
+
+class TestLevelRunAccumulator:
+    def test_matches_batch_for_any_chunking(self):
+        rng = np.random.default_rng(7)
+        period = 300.0
+        values = np.clip(rng.normal(0.5, 0.3, 240), 0.0, 1.0)
+        times = np.arange(values.size) * period
+        want = level_durations(times, values)
+        for sizes in [(240,), (1,) * 240, (37, 100, 103), (239, 1)]:
+            acc = LevelRunAccumulator(tail=period)
+            start = 0
+            for size in sizes:
+                acc.add(times[start : start + size], values[start : start + size])
+                start += size
+            got = acc.finalize()
+            assert got.keys() == want.keys()
+            for lvl in want:
+                np.testing.assert_array_equal(got[lvl], want[lvl])
+
+    def test_merge_matches_single_accumulator(self):
+        rng = np.random.default_rng(9)
+        period = 300.0
+        values = np.clip(rng.normal(0.5, 0.3, 90), 0.0, 1.0)
+        times = np.arange(values.size) * period
+        want = level_durations(times, values)
+        parts = []
+        for lo, hi in ((0, 30), (30, 31), (31, 90)):
+            acc = LevelRunAccumulator(tail=period)
+            acc.add(times[lo:hi], values[lo:hi])
+            parts.append(acc)
+        merged = merge_accumulators(
+            merge_accumulators(parts[0], parts[1]), parts[2]
+        )
+        got = merged.finalize()
+        for lvl in want:
+            np.testing.assert_array_equal(got[lvl], want[lvl])
+
+    def test_rejects_out_of_order_chunks(self):
+        acc = LevelRunAccumulator(tail=300.0)
+        acc.add(np.array([0.0, 300.0]), np.array([0.1, 0.1]))
+        with pytest.raises(ValueError):
+            acc.add(np.array([150.0]), np.array([0.1]))
+
+
+class TestSpawnPool:
+    """jobs > 1 must be byte-identical to the serial fold."""
+
+    def test_map_shards_parallel_order(self, tmp_path):
+        values = _sample(60)
+        sharded = write_table(Table({"x": values}), tmp_path / "t", 9)
+        assert map_shards(sharded, _sum_kernel, jobs=2) == map_shards(
+            sharded, _sum_kernel
+        )
+
+    def test_map_reduce_parallel_identical(self, tmp_path):
+        values = _sample(150, seed=13)
+        sharded = write_table(Table({"x": values}), tmp_path / "t", 11)
+        serial = map_reduce(sharded, _ecdf_kernel).finalize()
+        parallel = map_reduce(sharded, _ecdf_kernel, jobs=2).finalize()
+        np.testing.assert_array_equal(serial.values, parallel.values)
+        np.testing.assert_array_equal(
+            serial.probabilities, parallel.probabilities
+        )
+        acc_s = map_reduce(sharded, _mass_kernel)
+        acc_p = map_reduce(sharded, _mass_kernel, jobs=3)
+        np.testing.assert_array_equal(acc_s.merged(), acc_p.merged())

@@ -131,3 +131,86 @@ class TestMonitorConfigValidation:
             MonitorConfig(cpu_spike_prob=1.5)
         with pytest.raises(ValueError):
             MonitorConfig(cpu_spike_range=(0.9, 0.1))
+
+
+def _reference_noisy(rng, base, cap, coeff, n_run):
+    """Pre-batching scalar draw: one standard_normal call per attribute."""
+    if coeff == 0.0:
+        return np.clip(base, 0.0, cap)
+    draw = rng.standard_normal(base.size)
+    scale = coeff / np.sqrt(np.maximum(n_run, 1))
+    return np.clip(base * np.clip(1.0 + scale * draw, 0.0, None), 0.0, cap)
+
+
+def _reference_sample(fleet, cfg, rng):
+    """Golden draw order of the unbatched monitor: cpu, spikes, mem, page."""
+    n_run = fleet.n_running
+    cpu = _reference_noisy(
+        rng, fleet.cpu_base, fleet.cpu_capacity, cfg.cpu_noise, n_run
+    )
+    if cfg.cpu_spike_prob > 0:
+        spiking = rng.uniform(size=cpu.size) < cfg.cpu_spike_prob
+        if spiking.any():
+            allocated = fleet.cpu_capacity - fleet.free_cpu
+            lo, hi = cfg.cpu_spike_range
+            burst = np.clip(allocated[spiking], 0.0, None) * rng.uniform(
+                lo, hi, int(spiking.sum())
+            )
+            cpu[spiking] = np.maximum(cpu[spiking], burst)
+    mem = _reference_noisy(
+        rng, fleet.mem_base, fleet.mem_capacity, cfg.mem_noise, n_run
+    )
+    page = _reference_noisy(
+        rng, fleet.page_base, fleet.page_capacity, cfg.page_noise, n_run
+    )
+    return cpu, mem, page
+
+
+class TestBatchedDrawEquivalence:
+    """Fused block draws must preserve the exact PCG64 stream.
+
+    ``standard_normal(k * n)`` consumes the bit stream identically to
+    ``k`` sequential ``n``-draws, so the batched monitor must match the
+    sequential reference bit for bit — samples and final RNG state.
+    """
+
+    CONFIGS = [
+        MonitorConfig(cpu_spike_prob=0.0),  # fully fused 3n block
+        MonitorConfig(cpu_spike_prob=0.5),  # spikes split cpu from mem/page
+        MonitorConfig(cpu_spike_prob=0.0, mem_noise=0.0),
+        MonitorConfig(cpu_spike_prob=0.0, page_noise=0.0),
+        MonitorConfig(cpu_spike_prob=0.5, cpu_noise=0.0),
+        MonitorConfig(
+            cpu_spike_prob=0.0, cpu_noise=0.0, mem_noise=0.0, page_noise=0.0
+        ),
+        MonitorConfig(cpu_spike_prob=0.5, mem_noise=0.0, page_noise=0.0),
+    ]
+
+    def _loaded_fleet(self, n=8):
+        fleet = _fleet(n)
+        for slot in range(n):
+            for j in range(slot % 3 + 1):
+                fleet.start(slot, _task(job=slot * 10 + j, band=j % 3))
+        return fleet
+
+    @pytest.mark.parametrize("config", CONFIGS)
+    def test_bit_identical_to_sequential_draws(self, config):
+        fleet_a = self._loaded_fleet()
+        fleet_b = self._loaded_fleet()
+        seed = 1234
+        monitor = UsageMonitor(fleet_a, config, np.random.default_rng(seed))
+        reference = np.random.default_rng(seed)
+        ref_samples = []
+        for t in range(10):
+            monitor.sample(t * 300.0, 0, 0, 0)
+            ref_samples.append(_reference_sample(fleet_b, config, reference))
+        assert (
+            monitor.rng.bit_generator.state == reference.bit_generator.state
+        )
+        mu = monitor.machine_usage_table()
+        n = fleet_a.num_machines
+        for i, (cpu, mem, page) in enumerate(ref_samples):
+            sl = slice(i * n, (i + 1) * n)
+            np.testing.assert_array_equal(mu["cpu_usage"][sl], cpu)
+            np.testing.assert_array_equal(mu["mem_usage"][sl], mem)
+            np.testing.assert_array_equal(mu["page_cache"][sl], page)
