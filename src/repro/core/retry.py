@@ -1,0 +1,40 @@
+"""Deterministic retry backoff shared by every supervised executor.
+
+Both the experiment supervisor (:mod:`repro.experiments.supervisor`)
+and the shard map-reduce pool (:mod:`repro.core.mapreduce`) retry
+transient failures. Their backoff must be reproducible — a faulted run
+replays with the same retry schedule — so jitter is *seeded*, never
+sampled from the wall clock: the delay is a pure function of
+``(seed, token, attempt)``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+__all__ = ["backoff_delay"]
+
+
+def backoff_delay(
+    seed: int,
+    token: str,
+    attempt: int,
+    *,
+    base: float = 0.25,
+    cap: float = 30.0,
+) -> float:
+    """Deterministic capped exponential backoff with seeded jitter.
+
+    A pure function of ``(seed, token, attempt)``: the raw delay
+    doubles per failed attempt up to ``cap``, then jitter drawn from a
+    SHA-256 of the inputs spreads it over ``[raw/2, raw)`` so
+    concurrent retries decorrelate without any wall-clock RNG. The
+    ``token`` names the retried unit (an experiment id, a shard-block
+    key) so distinct units decorrelate under one seed.
+    """
+    raw = min(cap, base * (2.0 ** max(0, attempt - 1)))
+    digest = hashlib.sha256(
+        f"{seed}:{token}:{attempt}".encode("utf-8")
+    ).digest()
+    jitter = int.from_bytes(digest[:8], "big") / 2.0**64  # [0, 1)
+    return raw * (0.5 + 0.5 * jitter)

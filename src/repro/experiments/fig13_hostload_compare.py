@@ -10,12 +10,17 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..core.mapreduce import map_shards
 from ..core.noise import autocorrelation, noise_stats
-from ..core.shard import ShardedTable
 from ..synth.grid_hostload import GridHostConfig, generate_grid_host_series
 from .base import ExperimentResult, ResultTable
-from .datasets import SCALES, active_backend, sharded_machine_usage, simulation_dataset
+from .datasets import (
+    SCALES,
+    active_backend,
+    open_sharded,
+    sharded_machine_usage,
+    sharded_map_shards,
+    simulation_dataset,
+)
 
 __all__ = ["run"]
 
@@ -48,19 +53,17 @@ def _relative_cpu_means(shard, machine_ids, cpu_caps) -> dict[int, float]:
 
 def _sharded_google_host(data, scale, seed, backend):
     """Median-mean-CPU host's relative CPU/mem series from the spill."""
-    shards = ShardedTable.open(
-        sharded_machine_usage(scale, seed, backend.shard_rows)
-    )
+    path = sharded_machine_usage(scale, seed, backend.shard_rows)
     machines = data.result.machines
-    per_shard = map_shards(
-        shards,
+    per_shard = sharded_map_shards(
+        path,
         _relative_cpu_means,
         args=(
             np.asarray(machines["machine_id"], dtype=np.int64),
             np.asarray(machines["cpu_capacity"], dtype=np.float64),
         ),
-        jobs=backend.jobs,
     )
+    shards = open_sharded(path)
     mean_of: dict[int, float] = {}
     shard_of: dict[int, int] = {}
     for si, found in enumerate(per_shard):

@@ -7,41 +7,97 @@ visible spike of high-priority (9) production services.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
 from ..core.ecdf import histogram_counts
 from ..traces.schema import priority_band_array
 from .base import ExperimentResult, ResultTable
-from .datasets import workload_dataset
+from .datasets import (
+    active_backend,
+    sharded_google_jobs,
+    sharded_map_reduce,
+    workload_dataset,
+)
 
 __all__ = ["run"]
 
+#: The figure's x-axis: Google priorities 1..12.
+_PRIORITIES = np.arange(1, 13)
 
-def run(scale: str = "paper", seed: int = 0) -> ExperimentResult:
-    data = workload_dataset(scale, seed)
-    jobs = data.google_jobs
-    priorities = np.arange(1, 13)
 
-    job_counts = histogram_counts(np.asarray(jobs["priority"]), priorities)
+@dataclass
+class _PriorityCounts:
+    """Mergeable Fig. 2 state: pure integer counts, exact under sums."""
+
+    job_counts: np.ndarray  # int64 per priority 1..12
+    task_counts: np.ndarray  # int64 per priority 1..12
+    band_counts: np.ndarray  # int64 per band (low, middle, high)
+    total_jobs: int
+    total_tasks: int
+
+    def merge(self, other: "_PriorityCounts") -> "_PriorityCounts":
+        self.job_counts = self.job_counts + other.job_counts
+        self.task_counts = self.task_counts + other.task_counts
+        self.band_counts = self.band_counts + other.band_counts
+        self.total_jobs += other.total_jobs
+        self.total_tasks += other.total_tasks
+        return self
+
+
+def _count_shard(priorities: np.ndarray, num_tasks: np.ndarray) -> _PriorityCounts:
+    """Fig. 2 counts of one row chunk (the whole table, or one shard)."""
+    job_counts = histogram_counts(priorities, _PRIORITIES)
     # Task counts weight each job by its task fan-out.
     task_counts = np.array(
-        [
-            int(jobs["num_tasks"][jobs["priority"] == p].sum())
-            for p in priorities
-        ],
+        [int(num_tasks[priorities == p].sum()) for p in _PRIORITIES],
         dtype=np.int64,
     )
+    bands = priority_band_array(priorities)
+    band_counts = np.array(
+        [int(np.count_nonzero(bands == b)) for b in (0, 1, 2)], dtype=np.int64
+    )
+    return _PriorityCounts(
+        job_counts=job_counts,
+        task_counts=task_counts,
+        band_counts=band_counts,
+        total_jobs=int(priorities.size),
+        total_tasks=int(num_tasks.sum()),
+    )
 
-    bands = priority_band_array(np.asarray(jobs["priority"]))
+
+def _collect_priorities(shard) -> _PriorityCounts:
+    """Map kernel: one shard's priority/task histogram."""
+    return _count_shard(
+        np.asarray(shard["priority"]), np.asarray(shard["num_tasks"])
+    )
+
+
+def run(scale: str = "paper", seed: int = 0) -> ExperimentResult:
+    backend = active_backend()
+    if backend.name == "sharded":
+        # Integer count sums merge exactly in any grouping, so the
+        # streamed histogram is byte-identical to the in-memory one.
+        counts = sharded_map_reduce(
+            sharded_google_jobs(scale, seed, backend.shard_rows),
+            _collect_priorities,
+        )
+    else:
+        jobs = workload_dataset(scale, seed).google_jobs
+        counts = _count_shard(
+            np.asarray(jobs["priority"]), np.asarray(jobs["num_tasks"])
+        )
+    job_counts = counts.job_counts
     band_fracs = {
-        "low(1-4)": float(np.count_nonzero(bands == 0) / len(jobs)),
-        "middle(5-8)": float(np.count_nonzero(bands == 1) / len(jobs)),
-        "high(9-12)": float(np.count_nonzero(bands == 2) / len(jobs)),
+        "low(1-4)": float(int(counts.band_counts[0]) / counts.total_jobs),
+        "middle(5-8)": float(int(counts.band_counts[1]) / counts.total_jobs),
+        "high(9-12)": float(int(counts.band_counts[2]) / counts.total_jobs),
     }
 
     rows = [
         (int(p), int(jc), int(tc))
-        for p, jc, tc in zip(priorities, job_counts, task_counts)
+        for p, jc, tc in zip(_PRIORITIES, job_counts, counts.task_counts)
     ]
     return ExperimentResult(
         experiment_id="fig2",
@@ -54,10 +110,10 @@ def run(scale: str = "paper", seed: int = 0) -> ExperimentResult:
             ),
         ),
         metrics={
-            "total_jobs": int(len(jobs)),
-            "total_tasks": int(jobs["num_tasks"].sum()),
+            "total_jobs": counts.total_jobs,
+            "total_tasks": counts.total_tasks,
             **{f"job_frac_{k}": round(v, 3) for k, v in band_fracs.items()},
-            "modal_priority": int(priorities[np.argmax(job_counts)]),
+            "modal_priority": int(_PRIORITIES[np.argmax(job_counts)]),
         },
         paper_reference={
             "total_jobs": "~670,000",

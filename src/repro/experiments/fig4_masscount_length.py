@@ -11,12 +11,15 @@ from __future__ import annotations
 import numpy as np
 
 from ..core.kernels import MassCountAccumulator
-from ..core.mapreduce import map_reduce
 from ..core.masscount import joint_ratio_label, mass_count
-from ..core.shard import ShardedTable
 from ..synth.presets import DAY
 from .base import ExperimentResult, ResultTable
-from .datasets import active_backend, sharded_task_durations, workload_dataset
+from .datasets import (
+    active_backend,
+    sharded_map_reduce,
+    sharded_task_durations,
+    workload_dataset,
+)
 
 __all__ = ["run"]
 
@@ -35,11 +38,9 @@ def run(scale: str = "paper", seed: int = 0) -> ExperimentResult:
         # Stream the duration column shard by shard; merging in shard
         # order reassembles the exact in-memory sample, so every number
         # below is byte-identical to the memory backend.
-        shards = ShardedTable.open(
-            sharded_task_durations(scale, seed, backend.shard_rows)
-        )
-        google_lengths = map_reduce(
-            shards, _collect_durations, jobs=backend.jobs
+        google_lengths = sharded_map_reduce(
+            sharded_task_durations(scale, seed, backend.shard_rows),
+            _collect_durations,
         ).merged()
     else:
         google_lengths = np.asarray(data.google_tasks.duration)

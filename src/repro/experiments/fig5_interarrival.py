@@ -12,14 +12,13 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..core.ecdf import ecdf
-from ..core.mapreduce import map_reduce
-from ..core.shard import ShardedTable
 from ..traces.convert import job_interarrival_times
 from .base import ExperimentResult, ResultTable
 from .datasets import (
     active_backend,
     grid_system_names,
     sharded_google_jobs,
+    sharded_map_reduce,
     workload_dataset,
 )
 
@@ -81,10 +80,9 @@ def run(scale: str = "paper", seed: int = 0) -> ExperimentResult:
     backend = active_backend()
     google_gaps: np.ndarray | None = None
     if backend.name == "sharded":
-        shards = ShardedTable.open(
-            sharded_google_jobs(scale, seed, backend.shard_rows)
+        state = sharded_map_reduce(
+            sharded_google_jobs(scale, seed, backend.shard_rows), _shard_gaps
         )
-        state = map_reduce(shards, _shard_gaps, jobs=backend.jobs)
         google_gaps = state.gaps() if state is not None else np.empty(0)
 
     rows = []

@@ -10,12 +10,15 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..core.mapreduce import map_reduce
-from ..core.shard import ShardedTable
 from ..core.table import Table
 from ..hostload.maxload import MaxLoadDistribution, max_load_by_capacity
 from .base import ExperimentResult, ResultTable
-from .datasets import active_backend, sharded_machine_usage, simulation_dataset
+from .datasets import (
+    active_backend,
+    sharded_machine_usage,
+    sharded_map_reduce,
+    simulation_dataset,
+)
 
 __all__ = ["run", "ATTRIBUTES"]
 
@@ -99,11 +102,10 @@ def run(scale: str = "paper", seed: int = 0) -> ExperimentResult:
     data = simulation_dataset(scale, seed)
     backend = active_backend()
     if backend.name == "sharded":
-        shards = ShardedTable.open(
-            sharded_machine_usage(scale, seed, backend.shard_rows)
-        )
-        maxima = map_reduce(
-            shards, _machine_maxima, jobs=backend.jobs, merge=_merge_maxima
+        maxima = sharded_map_reduce(
+            sharded_machine_usage(scale, seed, backend.shard_rows),
+            _machine_maxima,
+            merge=_merge_maxima,
         )
         machines = data.result.machines
 

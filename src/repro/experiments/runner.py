@@ -35,6 +35,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import resource
 import sys
 from collections.abc import Sequence
@@ -49,7 +50,7 @@ from .datasets import (
     default_cache_dir,
     reset_dataset_stats,
 )
-from .faults import FaultPlan, plan_from_env
+from .faults import PLAN_ENV, FaultPlan, plan_from_env
 from .parallel import run_experiments
 from .registry import EXPERIMENTS
 from .supervisor import (
@@ -196,6 +197,36 @@ def _parser() -> argparse.ArgumentParser:
         help="rows per shard for --backend sharded (default: 1000000)",
     )
     parser.add_argument(
+        "--block-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "kill a sharded map-reduce block worker stuck longer than "
+            "this and retry it (default: no block timeout)"
+        ),
+    )
+    parser.add_argument(
+        "--block-retries",
+        type=int,
+        default=2,
+        metavar="N",
+        help=(
+            "extra attempts per crashed/timed-out map-reduce block "
+            "before it runs inline (default: 2)"
+        ),
+    )
+    parser.add_argument(
+        "--verify-shards",
+        choices=("none", "lazy", "full"),
+        default="lazy",
+        help=(
+            "shard digest verification: 'lazy' checks each shard on "
+            "first read, 'full' checks everything at open, 'none' "
+            "skips digests (structural checks always run)"
+        ),
+    )
+    parser.add_argument(
         "--json",
         metavar="PATH",
         default=None,
@@ -246,7 +277,13 @@ def _json_report(
         "seed": seed,
         "jobs": args.jobs,
         "run_id": run,
-        "backend": {"name": args.backend, "shard_rows": args.shard_rows},
+        "backend": {
+            "name": args.backend,
+            "shard_rows": args.shard_rows,
+            "block_timeout": args.block_timeout,
+            "block_retries": args.block_retries,
+            "verify": args.verify_shards,
+        },
         "peak_rss_kb": int(peak_rss_kb),
         "cache": {
             "enabled": cache_dir is not None,
@@ -283,6 +320,18 @@ def main(argv: Sequence[str] | None = None) -> int:
         return 2
     if args.retries < 0:
         print(f"--retries must be >= 0, got {args.retries}", file=sys.stderr)
+        return 2
+    if args.block_retries < 0:
+        print(
+            f"--block-retries must be >= 0, got {args.block_retries}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.block_timeout is not None and args.block_timeout <= 0:
+        print(
+            f"--block-timeout must be > 0, got {args.block_timeout}",
+            file=sys.stderr,
+        )
         return 2
     for name in ("timeout", "deadline"):
         value = getattr(args, name)
@@ -364,9 +413,19 @@ def main(argv: Sequence[str] | None = None) -> int:
     configure_cache(cache_dir)
     configure_backend(
         BackendSpec(
-            name=args.backend, shard_rows=args.shard_rows, jobs=args.jobs
+            name=args.backend,
+            shard_rows=args.shard_rows,
+            jobs=args.jobs,
+            block_timeout=args.block_timeout,
+            block_retries=args.block_retries,
+            verify=args.verify_shards,
         )
     )
+    if args.fault_plan is not None:
+        # Spawn-based map-reduce workers and spill hooks read the plan
+        # from the environment; export an explicit --fault-plan so the
+        # out-of-core fault kinds reach them too.
+        os.environ[PLAN_ENV] = args.fault_plan
     reset_dataset_stats()
 
     supervised = (

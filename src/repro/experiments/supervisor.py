@@ -50,6 +50,7 @@ from pathlib import Path
 
 from .. import __version__
 from ..core.diskcache import CacheCorruptionError
+from ..core.retry import backoff_delay
 from ..core.timing import Timings
 from . import datasets
 from .faults import FaultPlan
@@ -143,29 +144,6 @@ class SupervisorConfig:
     fail_fast: bool = False
     #: Supervision loop granularity (result/deadline polling).
     poll_interval: float = 0.05
-
-
-def backoff_delay(
-    seed: int,
-    experiment_id: str,
-    attempt: int,
-    *,
-    base: float = 0.25,
-    cap: float = 30.0,
-) -> float:
-    """Deterministic capped exponential backoff with seeded jitter.
-
-    A pure function of ``(seed, experiment_id, attempt)``: the raw
-    delay doubles per failed attempt up to ``cap``, then jitter drawn
-    from a SHA-256 of the inputs spreads it over ``[raw/2, raw)`` so
-    concurrent retries decorrelate without any wall-clock RNG.
-    """
-    raw = min(cap, base * (2.0 ** max(0, attempt - 1)))
-    digest = hashlib.sha256(
-        f"{seed}:{experiment_id}:{attempt}".encode("utf-8")
-    ).digest()
-    jitter = int.from_bytes(digest[:8], "big") / 2.0**64  # [0, 1)
-    return raw * (0.5 + 0.5 * jitter)
 
 
 def classify_exception(exc: BaseException) -> str:

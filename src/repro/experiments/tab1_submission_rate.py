@@ -9,13 +9,12 @@ from __future__ import annotations
 import numpy as np
 
 from ..core.fairness import HourlyCountsAccumulator, submission_rate_stats
-from ..core.mapreduce import map_reduce
-from ..core.shard import ShardedTable
 from .base import ExperimentResult, ResultTable
 from .datasets import (
     active_backend,
     grid_system_names,
     sharded_google_jobs,
+    sharded_map_reduce,
     workload_dataset,
 )
 
@@ -57,11 +56,10 @@ def run(scale: str = "paper", seed: int = 0) -> ExperimentResult:
     measured: dict[str, tuple[float, float, float, float]] = {}
     for name, jobs in systems.items():
         if name == "Google" and backend.name == "sharded":
-            shards = ShardedTable.open(
-                sharded_google_jobs(scale, seed, backend.shard_rows)
-            )
-            acc = map_reduce(
-                shards, _hourly_counts, args=(data.horizon,), jobs=backend.jobs
+            acc = sharded_map_reduce(
+                sharded_google_jobs(scale, seed, backend.shard_rows),
+                _hourly_counts,
+                args=(data.horizon,),
             )
             stats = acc.finalize()
         else:

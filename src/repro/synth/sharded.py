@@ -37,12 +37,17 @@ def shard_task_requests(
     shard_rows: int,
     columns: Sequence[str] | None = None,
     chunk_tasks: int = 1_000_000,
+    resume: bool = False,
 ) -> ShardedTable:
     """Generate and spill a task-request stream as one sharded table.
 
     ``columns`` restricts the spill to the named request columns (e.g.
     only what a characterization pass reads), cutting disk footprint
     proportionally; the kept columns are bit-identical to a full spill.
+    With ``resume``, a spill interrupted at the same ``dest`` continues
+    from its journaled shard prefix instead of regenerating everything —
+    safe because the stream is a pure function of its arguments, so the
+    replayed rows match the rows already on disk.
     """
     names = TASK_REQUEST_COLUMNS if columns is None else tuple(columns)
     unknown = set(names) - set(TASK_REQUEST_COLUMNS)
@@ -57,7 +62,7 @@ def shard_task_requests(
     )
     first = next(stream)
     schema = {name: getattr(first, name).dtype for name in names}
-    with ShardWriter(dest, schema, shard_rows) as writer:
+    with ShardWriter(dest, schema, shard_rows, resume=resume) as writer:
         writer.append({name: getattr(first, name) for name in names})
         for chunk in stream:
             writer.append({name: getattr(chunk, name) for name in names})

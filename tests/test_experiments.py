@@ -214,7 +214,7 @@ class TestDatasets:
 class TestShardedBackend:
     """--backend sharded must render byte-identically to in-memory."""
 
-    SHARDED_IDS = ("fig4", "fig5", "fig7", "fig13", "tab1")
+    SHARDED_IDS = ("fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig13", "tab1")
 
     @pytest.fixture()
     def sharded_backend(self):
@@ -263,3 +263,62 @@ class TestShardedBackend:
         from repro.experiments.datasets import configure_backend
 
         configure_backend(None)
+
+
+class TestOutOfCoreChaos:
+    """Injected worker kill, shard corruption, and block hang must heal.
+
+    The acceptance property of the self-healing layer: under a fault
+    plan exercising every block fault kind, the sharded run's rendered
+    output is byte-identical to the clean in-memory run and the
+    recovery counters record what happened.
+    """
+
+    def test_fig7_chaos_identical_and_counted(self, results, monkeypatch):
+        import json
+
+        from repro.experiments.datasets import (
+            BackendSpec,
+            configure_backend,
+            dataset_stats,
+            reset_dataset_stats,
+        )
+        from repro.experiments.faults import PLAN_ENV
+
+        plan = [
+            # Attempt 1: the worker dies mid-block (respawn + retry).
+            {"experiment_id": "*", "kind": "kill-worker", "block": 0},
+            # Attempt 2: a shard is corrupted on disk (quarantine + heal).
+            # No block timeout: spawn startup dwarfs any short timeout at
+            # this scale and would degrade blocks to inline before the
+            # faults fire (the timeout path is covered in test_mapreduce).
+            {
+                "experiment_id": "*",
+                "kind": "corrupt-shard",
+                "block": 0,
+                "attempt": 2,
+                "shard": 0,
+            },
+        ]
+        monkeypatch.setenv(PLAN_ENV, json.dumps(plan))
+        configure_backend(
+            BackendSpec(
+                name="sharded",
+                shard_rows=1024,
+                jobs=2,
+                block_retries=3,
+            )
+        )
+        reset_dataset_stats()
+        try:
+            rendered = run_experiment("fig7", scale="small", seed=0).render()
+            stats = dataset_stats()
+        finally:
+            configure_backend(None)
+            reset_dataset_stats()
+        assert rendered == results["fig7"].render()
+        assert stats["mapreduce_crashes"] >= 1
+        assert stats["mapreduce_respawns"] >= 1
+        assert stats["mapreduce_retries"] >= 1
+        assert stats["shards_quarantined"] >= 1
+        assert stats["shards_rederived"] >= 1

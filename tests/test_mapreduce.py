@@ -5,6 +5,10 @@ experiments use, folding per-shard partials must reproduce the batch
 computation bit for bit, for any shard size and for the spawn pool.
 """
 
+import os
+import signal
+from dataclasses import dataclass
+
 import numpy as np
 import pytest
 
@@ -16,8 +20,16 @@ from repro.core.kernels import (
     merge_run_lengths,
     run_length_encode,
 )
-from repro.core.mapreduce import map_reduce, map_shards, merge_accumulators
+from repro.core.mapreduce import (
+    MapReduceConfig,
+    MapReduceError,
+    map_reduce,
+    map_shards,
+    merge_accumulators,
+)
 from repro.core.masscount import mass_count
+from repro.core.shard import ShardedTable, ShardIntegrityError
+from repro.core.timing import Timings
 from repro.core.segments import LevelRunAccumulator, level_durations
 from repro.core.shard import write_table
 from repro.core.table import Table
@@ -190,3 +202,208 @@ class TestSpawnPool:
         acc_s = map_reduce(sharded, _mass_kernel)
         acc_p = map_reduce(sharded, _mass_kernel, jobs=3)
         np.testing.assert_array_equal(acc_s.merged(), acc_p.merged())
+
+
+# -- supervision: injectors and kernels must be picklable (spawn) ----------
+
+
+@dataclass(frozen=True)
+class _KillOnce:
+    """SIGKILL the worker running the given block, first attempt only."""
+
+    block: int
+
+    def __call__(self, root, block, attempt):
+        if block == self.block and attempt == 1:
+            os.kill(os.getpid(), signal.SIGKILL)
+
+
+@dataclass(frozen=True)
+class _HangOnce:
+    """Stall the given block's first attempt far past the block timeout."""
+
+    block: int
+    seconds: float = 60.0
+
+    def __call__(self, root, block, attempt):
+        if block == self.block and attempt == 1:
+            import time
+
+            time.sleep(self.seconds)
+
+
+@dataclass(frozen=True)
+class _AlwaysKill:
+    """Every worker dies: forces degradation to the inline path."""
+
+    def __call__(self, root, block, attempt):
+        os.kill(os.getpid(), signal.SIGKILL)
+
+
+def _boom_kernel(shard):
+    raise ValueError("boom")
+
+
+_FAST = dict(backoff_base=0.001, backoff_cap=0.01)
+
+
+class TestSupervision:
+    """Crash/timeout/error/corruption handling in the spawn pool."""
+
+    def _sharded(self, tmp_path, n=60, rows=5, name="t"):
+        values = _sample(n, seed=17)
+        return values, write_table(
+            Table({"x": values}), tmp_path / name, rows
+        )
+
+    def test_killed_worker_respawned_and_block_retried(self, tmp_path):
+        values, sharded = self._sharded(tmp_path)
+        timings = Timings()
+        got = map_shards(
+            sharded,
+            _sum_kernel,
+            jobs=2,
+            config=MapReduceConfig(**_FAST),
+            inject=_KillOnce(block=1),
+            timings=timings,
+        )
+        assert got == map_shards(sharded, _sum_kernel)
+        assert timings.counters["mapreduce_crashes"] >= 1
+        assert timings.counters["mapreduce_retries"] >= 1
+        assert timings.counters["mapreduce_respawns"] >= 1
+
+    def test_hung_block_killed_and_retried(self, tmp_path):
+        values, sharded = self._sharded(tmp_path, n=20, rows=5)
+        timings = Timings()
+        got = map_shards(
+            sharded,
+            _sum_kernel,
+            jobs=2,
+            config=MapReduceConfig(timeout=1.0, poll_interval=0.02, **_FAST),
+            inject=_HangOnce(block=0),
+            timings=timings,
+        )
+        assert got == map_shards(sharded, _sum_kernel)
+        assert timings.counters["mapreduce_block_timeouts"] >= 1
+
+    def test_kernel_exception_is_permanent(self, tmp_path):
+        values, sharded = self._sharded(tmp_path, n=20, rows=5)
+        with pytest.raises(MapReduceError, match="boom"):
+            map_shards(
+                sharded,
+                _boom_kernel,
+                jobs=2,
+                config=MapReduceConfig(**_FAST),
+            )
+
+    def test_retries_exhausted_falls_back_inline(self, tmp_path):
+        # A block whose worker dies on every attempt must still finish
+        # (inline in the parent), not loop or raise.
+        values, sharded = self._sharded(tmp_path, n=30, rows=5)
+        timings = Timings()
+        got = map_shards(
+            sharded,
+            _sum_kernel,
+            jobs=2,
+            config=MapReduceConfig(retries=1, degrade_after=100, **_FAST),
+            inject=_AlwaysKill(),
+            timings=timings,
+        )
+        assert got == map_shards(sharded, _sum_kernel)
+        assert timings.counters["mapreduce_inline"] >= 1
+
+    def test_circuit_breaker_degrades_pool(self, tmp_path):
+        # Enough transient failures trip the breaker: the remaining
+        # blocks run inline in index order and the fold stays exact.
+        values, sharded = self._sharded(tmp_path, n=60, rows=4)
+        timings = Timings()
+        serial = map_reduce(sharded, _ecdf_kernel).finalize()
+        got = map_reduce(
+            sharded,
+            _ecdf_kernel,
+            jobs=3,
+            config=MapReduceConfig(retries=0, degrade_after=1, **_FAST),
+            inject=_AlwaysKill(),
+            timings=timings,
+        ).finalize()
+        np.testing.assert_array_equal(got.values, serial.values)
+        np.testing.assert_array_equal(got.probabilities, serial.probabilities)
+        assert timings.counters["mapreduce_inline"] >= 1
+
+    def test_corrupt_shard_heals_and_result_is_clean(self, tmp_path):
+        values, sharded = self._sharded(tmp_path, n=40, rows=5)
+        # Flip a data byte: structural checks pass, the digest fails in
+        # the worker, and the parent's heal callback swaps in a rebuilt
+        # byte-identical table.
+        victim = sharded.root / "shard-00003" / "x.npy"
+        data = bytearray(victim.read_bytes())
+        data[-1] ^= 0xFF
+        victim.write_bytes(bytes(data))
+
+        healed_roots = []
+
+        def heal(root, message):
+            rebuilt = write_table(
+                Table({"x": values}), tmp_path / f"heal{len(healed_roots)}", 5
+            )
+            healed_roots.append(root)
+            return str(rebuilt.root)
+
+        clean = write_table(Table({"x": values}), tmp_path / "ref", 5)
+        want = map_shards(clean, _sum_kernel)
+        for jobs in (1, 2):
+            got = map_shards(
+                ShardedTable.open(sharded.root, verify="lazy"),
+                _sum_kernel,
+                jobs=jobs,
+                config=MapReduceConfig(**_FAST),
+                heal=heal,
+            )
+            assert got == want, jobs
+        assert len(healed_roots) == 2
+
+    def test_corruption_without_heal_raises_typed_error(self, tmp_path):
+        values, sharded = self._sharded(tmp_path, n=20, rows=5)
+        victim = sharded.root / "shard-00001" / "x.npy"
+        data = bytearray(victim.read_bytes())
+        data[-1] ^= 0xFF
+        victim.write_bytes(bytes(data))
+        table = ShardedTable.open(sharded.root, verify="lazy")
+        for jobs in (1, 2):
+            with pytest.raises(ShardIntegrityError):
+                map_shards(
+                    table,
+                    _sum_kernel,
+                    jobs=jobs,
+                    config=MapReduceConfig(**_FAST),
+                )
+
+    def test_heal_attempts_are_capped(self, tmp_path):
+        values, sharded = self._sharded(tmp_path, n=20, rows=5)
+        victim = sharded.root / "shard-00001" / "x.npy"
+        data = bytearray(victim.read_bytes())
+        data[-1] ^= 0xFF
+        victim.write_bytes(bytes(data))
+        calls = []
+
+        def bad_heal(root, message):
+            calls.append(root)
+            return root  # "healed" to the same corrupt table
+
+        with pytest.raises(ShardIntegrityError):
+            map_shards(
+                ShardedTable.open(sharded.root, verify="lazy"),
+                _sum_kernel,
+                jobs=2,
+                config=MapReduceConfig(max_heals=2, **_FAST),
+                heal=bad_heal,
+            )
+        assert len(calls) == 2
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            MapReduceConfig(timeout=0.0)
+        with pytest.raises(ValueError):
+            MapReduceConfig(retries=-1)
+        with pytest.raises(ValueError):
+            MapReduceConfig(verify="paranoid")
