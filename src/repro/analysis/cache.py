@@ -32,7 +32,7 @@ __all__ = ["LintCache", "MISS"]
 
 #: Bump when summary shape, diagnostic semantics or key derivation
 #: change; old entries then miss instead of decoding garbage.
-ENGINE_VERSION = "repro-lint/3"
+ENGINE_VERSION = "repro-lint/4"
 
 
 class LintCache:

@@ -6,7 +6,10 @@ that applies the :func:`~repro.analysis.registry.register` decorator.
 """
 
 from . import (  # noqa: F401
+    atomic_publish,
+    fsync_order,
     layering,
+    lifecycle,
     ordered_sink,
     pickle_boundary,
     registry_complete,

@@ -89,6 +89,13 @@ class LintConfig:
     #: Extra worker entry points (qualnames) beyond the pool-submit /
     #: Process sites the graph discovers syntactically.
     worker_roots: tuple[str, ...] = ()
+    #: Module prefixes that own crash-safe durable state; REP801/REP802
+    #: (atomic publish, fsync ordering) run only inside these modules.
+    durable_roots: tuple[str, ...] = (
+        "repro.core.diskcache",
+        "repro.core.shard",
+        "repro.core.fsutil",
+    )
 
     def rule_enabled(self, rule_id: str) -> bool:
         if rule_id in self.ignore:
@@ -129,6 +136,7 @@ def _config_from_mapping(section: dict[str, object]) -> LintConfig:
         "rng_scope",
         "worker_state_modules",
         "worker_roots",
+        "durable_roots",
     ):
         if key in data:
             setattr(cfg, key, _coerce_str_tuple(data[key]))

@@ -24,13 +24,16 @@ class Diagnostic:
     message: str
     severity: Severity = Severity.ERROR
     hint: str = ""  # short "how to fix" suggestion
+    # Related locations in the same file: ((line, note), ...) — the
+    # evidence chain behind a flow finding (write sites, escape points).
+    related: tuple[tuple[int, str], ...] = ()
 
     @property
     def location(self) -> str:
         return f"{self.path}:{self.line}:{self.col}"
 
     def to_dict(self) -> dict[str, object]:
-        return {
+        data: dict[str, object] = {
             "path": self.path,
             "line": self.line,
             "col": self.col,
@@ -39,6 +42,11 @@ class Diagnostic:
             "message": self.message,
             "hint": self.hint,
         }
+        if self.related:
+            data["related"] = [
+                {"line": line, "note": note} for line, note in self.related
+            ]
+        return data
 
     @classmethod
     def from_dict(cls, data: dict[str, object]) -> "Diagnostic":
@@ -51,6 +59,10 @@ class Diagnostic:
             message=str(data["message"]),
             severity=Severity[str(data["severity"]).upper()],
             hint=str(data.get("hint", "")),
+            related=tuple(
+                (int(item["line"]), str(item["note"]))
+                for item in data.get("related", ())
+            ),
         )
 
 

@@ -301,12 +301,14 @@ def _diagnostics_key(
         )
         # Cross-module facts this file's diagnostics depend on that the
         # import closure does NOT cover, because they point *against*
-        # import direction: schemas inferred from callers (REP202) and
-        # worker-reachability verdicts from shipping sites (REP103).
+        # import direction: schemas inferred from callers (REP202),
+        # worker-reachability verdicts from shipping sites (REP103), and
+        # incoming resource states met over call sites (REP801-REP803).
         flow = fingerprint(
             (
                 graph.schemas_for_module(info.module),
                 graph.effect_facts_for_module(info.module, worker_roots),
+                graph.lifecycle_facts_for_module(info.module),
             )
         )
     return LintCache.diagnostics_key(

@@ -312,6 +312,9 @@ class ModuleSummary:
     boundaries: tuple[BoundarySite, ...] = ()
     #: Effects of module-level statements (outside any function).
     module_effects: tuple[EffectSite, ...] = ()
+    #: Resource-lifecycle facts from the CFG layer (REP801-REP803):
+    #: per-function param actions and call-site resource states.
+    lifecycle: object | None = None
     parse_error: str | None = None
     parse_error_line: int = 1
 
@@ -1372,13 +1375,19 @@ def summarize_module(
             parse_error=exc.msg or str(exc),
             parse_error_line=exc.lineno or 1,
         )
-    return _ModuleSummarizer(
+    summary = _ModuleSummarizer(
         tree,
         module,
         relpath,
         package,
         is_package=relpath.endswith("__init__.py"),
     ).run()
+    from .cfg import summarize_lifecycle
+
+    summary.lifecycle = summarize_lifecycle(
+        tree, module, relpath.endswith("__init__.py")
+    )
+    return summary
 
 
 # -- the whole-program graph --------------------------------------------------
@@ -1416,6 +1425,14 @@ class ProjectGraph:
         ] = {}
         self._close_entropy_params()
         self._schemas = self._infer_schemas()
+        #: qualname -> FunctionLifecycle for every summarized function.
+        self._lifecycles: dict[str, object] = {}
+        for s in self.modules.values():
+            if s.lifecycle is not None:
+                for fl in s.lifecycle.functions:
+                    self._lifecycles[f"{s.module}.{fl.name}"] = fl
+        self._lifecycle_action_cache: dict[str, tuple] = {}
+        self._lifecycle_incoming: dict[str, dict[str, str]] | None = None
 
     # -- import graph ----------------------------------------------------
 
@@ -1766,6 +1783,117 @@ class ProjectGraph:
                 for qualname, (root, via) in reach.items()
                 if qualname.startswith(prefix)
                 and "." not in qualname[len(prefix):]
+            )
+        )
+
+    # -- resource-lifecycle facts (CFG layer, REP801-REP803) --------------
+
+    def _lifecycle_qualname(self, dotted: str) -> str | None:
+        """Resolve a recorded callee name to a lifecycle qualname."""
+        fn = self.resolve_function(dotted)
+        if fn is not None and fn.qualname in self._lifecycles:
+            return fn.qualname
+        if dotted in self._lifecycles:
+            return dotted
+        return None
+
+    def lifecycle_actions(self, qualname: str, _stack=None):
+        """Per-param lifecycle actions for ``qualname``, closed over the
+        helper calls it makes (``publish_atomically`` -> ``fsync_tree``
+        -> ``os.fsync``). Returns ``(params, {param: actions})``."""
+        cached = self._lifecycle_action_cache.get(qualname)
+        if cached is not None:
+            return cached
+        fl = self._lifecycles.get(qualname)
+        if fl is None:
+            return None
+        top = _stack is None
+        if _stack is None:
+            _stack = set()
+        if qualname in _stack:
+            return (fl.params, fl.action_map())
+        _stack.add(qualname)
+        actions = {p: set(a) for p, a in fl.action_map().items()}
+        for call in fl.calls:
+            target = self._lifecycle_qualname(call.callee)
+            if target is None:
+                continue
+            info = self.lifecycle_actions(target, _stack)
+            if info is None:
+                continue
+            cparams, cactions = info
+            for i, arg in enumerate(call.args):
+                if arg.param is None or i >= len(cparams):
+                    continue
+                acts = cactions.get(cparams[i], frozenset())
+                if not acts:
+                    continue
+                mine = actions.setdefault(arg.param, set())
+                if arg.shape == "param":
+                    mine |= acts
+                elif arg.shape == "dir-of-param" and "fsyncs" in acts:
+                    # callee fsyncs dirname(our param): a parent-dir sync.
+                    mine.add("dirsyncs_parent")
+        result = (fl.params, {p: frozenset(a) for p, a in actions.items()})
+        if top:
+            self._lifecycle_action_cache[qualname] = result
+        return result
+
+    def lifecycle_callee_info(self, dotted: str):
+        """CFG-interpreter callee hook: ``(params, actions)`` or None."""
+        target = self._lifecycle_qualname(dotted)
+        if target is None:
+            return None
+        return self.lifecycle_actions(target)
+
+    def _compute_lifecycle_incoming(self) -> dict[str, dict[str, str]]:
+        from .cfg import meet_states
+
+        calls_by_target: dict[str, list] = {}
+        for s in self.modules.values():
+            if s.lifecycle is None:
+                continue
+            for fl in s.lifecycle.functions:
+                for call in fl.calls:
+                    target = self._lifecycle_qualname(call.callee)
+                    if target is not None:
+                        calls_by_target.setdefault(target, []).append(call)
+        incoming: dict[str, dict[str, str]] = {}
+        for target, calls in calls_by_target.items():
+            fl = self._lifecycles[target]
+            per: dict[str, str] = {}
+            for idx, pname in enumerate(fl.params):
+                fact = meet_states(
+                    call.args[idx].state if idx < len(call.args) else "unknown"
+                    for call in calls
+                )
+                if fact != "unknown":
+                    per[pname] = fact
+            if per:
+                incoming[target] = per
+        return incoming
+
+    def lifecycle_incoming_for_module(self, module: str) -> dict[str, dict[str, str]]:
+        """Incoming per-param resource states (the meet over every
+        resolved call site) for ``module``'s own functions."""
+        if self._lifecycle_incoming is None:
+            self._lifecycle_incoming = self._compute_lifecycle_incoming()
+        prefix = module + "."
+        out: dict[str, dict[str, str]] = {}
+        for qualname, per in self._lifecycle_incoming.items():
+            if qualname.startswith(prefix) and "." not in qualname[len(prefix):]:
+                out[qualname[len(prefix):]] = per
+        return out
+
+    def lifecycle_facts_for_module(self, module: str) -> tuple:
+        """Against-import-direction lifecycle facts for the flow
+        fingerprint: a caller edit elsewhere that changes what reaches a
+        function here re-keys this file's cached verdicts."""
+        incoming = self.lifecycle_incoming_for_module(module)
+        return tuple(
+            sorted(
+                (name, tuple(sorted(per.items())))
+                for name, per in incoming.items()
             )
         )
 

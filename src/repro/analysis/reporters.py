@@ -20,6 +20,9 @@ def render_text(run: LintRun, verbose: bool = True) -> str:
         )
         if verbose and diag.hint:
             lines.append(f"    hint: {diag.hint}")
+        if verbose:
+            for rel_line, note in diag.related:
+                lines.append(f"    note: line {rel_line}: {note}")
     count = len(run.all_diagnostics)
     noun = "diagnostic" if count == 1 else "diagnostics"
     files = "file" if run.files_checked == 1 else "files"
@@ -79,27 +82,42 @@ def render_sarif(run: LintRun) -> str:
     results = []
     for diag in run.all_diagnostics:
         message = diag.message + (f" ({diag.hint})" if diag.hint else "")
-        results.append(
-            {
-                "ruleId": diag.rule_id,
-                "level": _SARIF_LEVELS.get(diag.severity, "warning"),
-                "message": {"text": message},
-                "locations": [
-                    {
-                        "physicalLocation": {
-                            "artifactLocation": {
-                                "uri": diag.path,
-                                "uriBaseId": "%SRCROOT%",
-                            },
-                            "region": {
-                                "startLine": diag.line,
-                                "startColumn": diag.col + 1,
-                            },
-                        }
+        result = {
+            "ruleId": diag.rule_id,
+            "level": _SARIF_LEVELS.get(diag.severity, "warning"),
+            "message": {"text": message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": diag.path,
+                            "uriBaseId": "%SRCROOT%",
+                        },
+                        "region": {
+                            "startLine": diag.line,
+                            "startColumn": diag.col + 1,
+                        },
                     }
-                ],
-            }
-        )
+                }
+            ],
+        }
+        if diag.related:
+            # The evidence chain (write sites, escape points) behind a
+            # flow finding, same artifact as the primary location.
+            result["relatedLocations"] = [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": diag.path,
+                            "uriBaseId": "%SRCROOT%",
+                        },
+                        "region": {"startLine": rel_line},
+                    },
+                    "message": {"text": note},
+                }
+                for rel_line, note in diag.related
+            ]
+        results.append(result)
     log = {
         "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
         "version": "2.1.0",

@@ -48,6 +48,7 @@ from pathlib import Path
 
 import numpy as np
 
+from .fsutil import publish_atomically, remove_durable
 from .table import Table
 
 __all__ = [
@@ -397,8 +398,11 @@ class DiskCache:
             entry = self._entry_dir(key)
             entry.parent.mkdir(parents=True, exist_ok=True)
             if entry.exists():
-                shutil.rmtree(entry, ignore_errors=True)
-            os.rename(tmp, entry)
+                # If the publish below fails, a crash may resurrect the
+                # removed entry — a complete, equivalent cache value, so
+                # the un-fsync'd removal is an accepted risk here.
+                shutil.rmtree(entry, ignore_errors=True)  # reprolint: disable=REP802
+            publish_atomically(tmp, entry)
         except OSError:
             # A concurrent writer renamed first; its entry is equivalent.
             shutil.rmtree(tmp, ignore_errors=True)
@@ -437,8 +441,11 @@ class DiskCache:
             entry = self._entry_dir(key)
             entry.parent.mkdir(parents=True, exist_ok=True)
             if entry.exists():
-                shutil.rmtree(entry, ignore_errors=True)
-            os.rename(tmp, entry)
+                # If the publish below fails, a crash may resurrect the
+                # removed entry — a complete, equivalent cache value, so
+                # the un-fsync'd removal is an accepted risk here.
+                shutil.rmtree(entry, ignore_errors=True)  # reprolint: disable=REP802
+            publish_atomically(tmp, entry)
         except OSError:
             # A concurrent writer renamed first; its entry is equivalent.
             shutil.rmtree(tmp, ignore_errors=True)
@@ -484,9 +491,12 @@ class DiskCache:
         return sum(size for _, _, size in self._scan())
 
     def clear(self) -> None:
-        """Delete every entry."""
+        """Delete every entry (removals fsynced so they cannot resurrect)."""
         for entry, _, _ in self._scan():
-            shutil.rmtree(entry, ignore_errors=True)
+            try:
+                remove_durable(entry)
+            except OSError:
+                pass
 
     # -- internals ------------------------------------------------------------
 
@@ -534,10 +544,19 @@ class DiskCache:
         try:
             qdir.mkdir(parents=True, exist_ok=True)
             if dest.exists():
-                shutil.rmtree(dest, ignore_errors=True)
-            os.rename(entry, dest)
+                # Quarantine slots are junk by definition; a resurrected
+                # stale slot is re-pruned, so durability is not needed.
+                shutil.rmtree(dest, ignore_errors=True)  # reprolint: disable=REP802
+            # payload_synced: the entry is suspected-corrupt, do not walk
+            # and fsync its content — only the move itself must be
+            # durable (in both parent directories, so the bad entry
+            # cannot resurrect in the live tree after a crash).
+            publish_atomically(entry, dest, payload_synced=True)
         except OSError:
-            shutil.rmtree(entry, ignore_errors=True)
+            try:
+                remove_durable(entry)
+            except OSError:
+                pass
         self.stats.quarantined += 1
         try:
             parked = sorted(
@@ -547,7 +566,10 @@ class DiskCache:
         except OSError:
             return
         for stale in parked[: max(0, len(parked) - _QUARANTINE_KEEP)]:
-            shutil.rmtree(stale, ignore_errors=True)
+            try:
+                remove_durable(stale)
+            except OSError:
+                pass
 
     def _scan(self) -> list[tuple[Path, float, int]]:
         """(entry dir, mtime, payload bytes) for every complete entry."""
@@ -582,7 +604,10 @@ class DiskCache:
                 break
             if keep is not None and entry == keep:
                 continue
-            shutil.rmtree(entry, ignore_errors=True)
+            try:
+                remove_durable(entry)
+            except OSError:
+                pass
             self.stats.evictions += 1
             total -= size
             count -= 1

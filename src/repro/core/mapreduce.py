@@ -341,8 +341,16 @@ def _supervise(
             ),
             daemon=True,
         )
-        process.start()
-        child_conn.close()
+        try:
+            process.start()
+        except BaseException:
+            # A failed spawn must not leak the pipe: close both ends
+            # before propagating, or the parent accumulates dead fds
+            # across respawn storms.
+            parent_conn.close()
+            raise
+        finally:
+            child_conn.close()
         now = _now()
         kill_at = now + config.timeout if config.timeout else None
         running.append(

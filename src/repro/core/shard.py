@@ -65,6 +65,7 @@ from pathlib import Path
 import numpy as np
 
 from .diskcache import CacheCorruptionError
+from .fsutil import fsync_dir, publish_atomically, remove_durable
 from .table import Table
 
 __all__ = [
@@ -304,7 +305,13 @@ class ShardWriter:
             except ValueError:
                 index = -1
             if index < 0 or index >= len(kept):
-                shutil.rmtree(path, ignore_errors=True)
+                try:
+                    remove_durable(path)
+                except OSError:
+                    # Durable removal failed; a resurrected torn shard
+                    # fails verification and is dropped again on the
+                    # next adoption, so best-effort is safe here.
+                    shutil.rmtree(path, ignore_errors=True)  # reprolint: disable=REP802
         stale_manifest = self._tmp / _MANIFEST
         if stale_manifest.exists():
             stale_manifest.unlink()
@@ -395,7 +402,7 @@ class ShardWriter:
             fh.write("\n".join(lines) + "\n")
             fh.flush()
             os.fsync(fh.fileno())
-        os.rename(tmp, journal)
+        publish_atomically(tmp, journal, payload_synced=True)
 
     def _journal_shard(self, index: int, rows: int, digests: dict[str, str]) -> None:
         journal = self._tmp / _JOURNAL
@@ -455,6 +462,14 @@ class ShardWriter:
         if self._closed:
             return ShardedTable.open(self._dest)
         if self._skip_rows:
+            # Adoption failed mid-validation: release ownership before
+            # raising so a later writer (or a human) can claim the
+            # partial dir; the journaled shards themselves stay durable.
+            lock = self._tmp / _LOCK
+            try:
+                lock.unlink()
+            except OSError:
+                pass
             raise ShardIntegrityError(
                 f"resumed spill ended {self._skip_rows} rows short of the "
                 f"adopted shards at {self._tmp}: the re-fed stream does not "
@@ -486,7 +501,11 @@ class ShardWriter:
             path = self._tmp / name
             if path.exists():
                 path.unlink()
-        os.rename(self._tmp, self._dest)
+        fsync_dir(self._tmp)
+        # Shard payloads and directory entries are already fsync'd at
+        # journal time, so the publish only needs the rename + parent
+        # directory syncs.
+        publish_atomically(self._tmp, self._dest, payload_synced=True)
         self._closed = True
         return ShardedTable.open(self._dest)
 
@@ -608,6 +627,11 @@ class ShardWriter:
             if first and self._on_event is not None:
                 self._on_event("column-written", index, self._resumed_shards)
             first = False
+        # Pin the shard's directory entries before journaling so a
+        # journaled shard is durable by construction, not just its
+        # column bytes.
+        fsync_dir(shard_dir)
+        fsync_dir(self._tmp)
         self._buffered -= n_rows
         self._shard_counts.append(int(n_rows))
         self._digests.append(digests)

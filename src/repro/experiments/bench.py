@@ -839,6 +839,60 @@ def _bench_reprolint_effects(
     return entries
 
 
+def _bench_reprolint_cfg(
+    log: Callable[[str], None],
+) -> list[dict[str, object]]:
+    """Cold/warm lint restricted to the crash-consistency CFG rules.
+
+    Isolates what the per-function abstract interpretation (path and
+    handle lattices, exception-path tracking) plus the lifecycle-fact
+    fixpoint costs, and proves the filtered config keys its own warm
+    cache (files_analyzed == 0 on the second run).
+    """
+    root = _lint_root()
+    if root is None:
+        log("  reprolint_cfg: no source tree found, skipped")
+        return []
+    from ..analysis.engine import lint_paths  # reprolint: disable=REP301
+
+    cfg_rules = ("REP801", "REP802", "REP803")
+    cache_dir = Path(tempfile.mkdtemp(prefix="reprolint-cfg-bench-"))
+    try:
+        run, cold_wall, cold_cpu = _timed(
+            lambda: lint_paths(
+                [root / "src"], root=root, cache_dir=cache_dir,
+                select=cfg_rules,
+            ),
+            max_repeats=1,
+        )
+        warm_run, warm_wall, warm_cpu = _timed(
+            lambda: lint_paths(
+                [root / "src"], root=root, cache_dir=cache_dir,
+                select=cfg_rules,
+            ),
+            max_repeats=1,
+        )
+    finally:
+        shutil.rmtree(cache_dir, ignore_errors=True)
+    entries = [
+        _entry(
+            "reprolint_cfg_cold", "repo", cold_wall, cold_cpu,
+            tasks=run.files_checked,
+        ),
+        _entry(
+            "reprolint_cfg_warm", "repo", warm_wall, warm_cpu,
+            tasks=warm_run.files_checked,
+            scalar_wall_s=cold_wall,
+        ),
+    ]
+    log(
+        f"  reprolint_cfg [repo] cold={cold_wall:.2f}s "
+        f"warm={warm_wall:.2f}s files={run.files_checked} "
+        f"warm_analyzed={warm_run.files_analyzed}"
+    )
+    return entries
+
+
 def _bench_experiments(
     scale: str, seed: int, log: Callable[[str], None]
 ) -> list[dict[str, object]]:
@@ -930,6 +984,7 @@ def run_benchmarks(
     if only is None:
         entries.extend(_bench_reprolint(log))
         entries.extend(_bench_reprolint_effects(log))
+        entries.extend(_bench_reprolint_cfg(log))
     return entries
 
 
